@@ -1,0 +1,450 @@
+// Command onex is the ONEX command-line explorer: generate datasets, build
+// and inspect ONEX bases, run similarity and seasonal queries, get
+// threshold recommendations, and render the demo's SVG views.
+//
+// Usage:
+//
+//	onex gen       -kind matters -indicator GrowthRate -out growth.csv
+//	onex build     -data growth.csv -out growth.base [-st 0.1 -minlen 4 -maxlen 12]
+//	onex query     -data growth.csv -series MA -start 0 -len 12 [-exclude-source]
+//	onex query     -data growth.csv -base growth.base -series MA -len 12   # reuse base
+//	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05
+//	onex seasonal  -data power.csv -series household-00 -minlen 12 -maxlen 12
+//	onex recommend -data growth.csv
+//	onex overview  -data growth.csv [-length 8 -k 12]
+//	onex viz       -data growth.csv -kind match -series MA -start 0 -len 12 -out fig.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/ts"
+	"repro/internal/viz"
+	"repro/onex"
+)
+
+// stdout is swapped by tests to capture subcommand output.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "range":
+		err = cmdRange(os.Args[2:])
+	case "seasonal":
+		err = cmdSeasonal(os.Args[2:])
+	case "recommend":
+		err = cmdRecommend(os.Args[2:])
+	case "overview":
+		err = cmdOverview(os.Args[2:])
+	case "viz":
+		err = cmdViz(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "onex: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "onex:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: onex <gen|build|query|range|seasonal|recommend|overview|viz> [flags]
+run "onex <subcommand> -h" for flags`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	kind := fs.String("kind", "matters", "matters|electricity|cbf|walks|sines|ecg")
+	indicator := fs.String("indicator", "GrowthRate", "MATTERS indicator (matters kind)")
+	out := fs.String("out", "", "output file (.csv/.json/UCR text); required")
+	n := fs.Int("n", 0, "series count / households / per-class count (kind-specific default)")
+	length := fs.Int("len", 0, "series length or days (kind-specific default)")
+	seed := fs.Int64("seed", 0, "random seed (0 = fixed default)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	var d *ts.Dataset
+	switch *kind {
+	case "matters":
+		ind, ok := indicatorByName(*indicator)
+		if !ok {
+			return fmt.Errorf("gen: unknown indicator %q", *indicator)
+		}
+		d = gen.Matters(gen.MattersOptions{Indicator: ind, Periods: *length, Seed: *seed})
+	case "electricity":
+		d = gen.ElectricityLoad(gen.ElectricityOptions{Households: *n, Days: *length, Seed: *seed})
+	case "cbf":
+		d = gen.CBF(gen.CBFOptions{PerClass: *n, Length: *length, Seed: *seed})
+	case "walks":
+		d = gen.RandomWalks(gen.WalkOptions{Num: *n, Length: *length, Seed: *seed})
+	case "sines":
+		d = gen.WarpedSines(gen.SineOptions{PerClass: *n, Length: *length, Seed: *seed})
+	case "ecg":
+		d = gen.ECG(gen.ECGOptions{Num: *n, Beats: *length, Arrhythmic: true, Seed: *seed})
+	default:
+		return fmt.Errorf("gen: unknown kind %q", *kind)
+	}
+	if err := ts.SaveFile(*out, d); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s: %d series, %d values\n", *out, d.Len(), d.TotalValues())
+	return nil
+}
+
+func indicatorByName(name string) (gen.Indicator, bool) {
+	for _, ind := range []gen.Indicator{
+		gen.GrowthRate, gen.UnemploymentRate, gen.TechEmployment, gen.MedianIncome, gen.TaxBurden,
+	} {
+		if strings.EqualFold(ind.String(), name) {
+			return ind, true
+		}
+	}
+	return 0, false
+}
+
+// openFlags holds the flags shared by every subcommand that opens a DB.
+type openFlags struct {
+	data   *string
+	base   *string
+	st     *float64
+	minLen *int
+	maxLen *int
+	band   *int
+	exact  *bool
+}
+
+func addOpenFlags(fs *flag.FlagSet) *openFlags {
+	return &openFlags{
+		data:   fs.String("data", "", "dataset file (required)"),
+		base:   fs.String("base", "", "previously saved base file (skips preprocessing)"),
+		st:     fs.Float64("st", 0, "per-point similarity threshold in normalized units (0 = auto)"),
+		minLen: fs.Int("minlen", 0, "minimum indexed subsequence length"),
+		maxLen: fs.Int("maxlen", 0, "maximum indexed subsequence length"),
+		band:   fs.Int("band", 0, "Sakoe-Chiba band width (0 = default, negative = unconstrained)"),
+		exact:  fs.Bool("exact", false, "use certified-exact search instead of the paper's approximate mode"),
+	}
+}
+
+func (of *openFlags) open() (*onex.DB, error) {
+	if *of.data == "" {
+		return nil, fmt.Errorf("-data is required")
+	}
+	if *of.base != "" {
+		d, err := onex.LoadDataset(*of.data)
+		if err != nil {
+			return nil, err
+		}
+		return onex.OpenWithBase(d, *of.base, onex.Config{
+			Band:  *of.band,
+			Exact: *of.exact,
+		})
+	}
+	return onex.OpenFile(*of.data, onex.Config{
+		ST:        *of.st,
+		MinLength: *of.minLen,
+		MaxLength: *of.maxLen,
+		Band:      *of.band,
+		Exact:     *of.exact,
+	})
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	out := fs.String("out", "", "save the built base to this file")
+	_ = fs.Parse(args)
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	st := db.Stats()
+	fmt.Fprintf(stdout, "dataset:       %s (%d series)\n", *of.data, st.Series)
+	fmt.Fprintf(stdout, "ST:            %.6f (per point, normalized units)\n", db.ST())
+	fmt.Fprintf(stdout, "subsequences:  %d\n", st.Subsequences)
+	fmt.Fprintf(stdout, "groups:        %d\n", st.Groups)
+	fmt.Fprintf(stdout, "compaction:    %.1fx\n", st.CompactionRatio)
+	fmt.Fprintf(stdout, "build time:    %d ms\n", st.BuildMillis)
+	if *out != "" {
+		if err := db.SaveBase(*out); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "base saved:    %s\n", *out)
+	}
+	return nil
+}
+
+func cmdRange(args []string) error {
+	fs := flag.NewFlagSet("range", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	series := fs.String("series", "", "query series name (required)")
+	start := fs.Int("start", 0, "query window start")
+	length := fs.Int("len", 0, "query window length (required)")
+	maxDist := fs.Float64("maxdist", 0.1, "inclusive distance threshold (normalized per-point units)")
+	limit := fs.Int("limit", 20, "maximum matches to print (0 = all)")
+	_ = fs.Parse(args)
+	if *series == "" || *length <= 0 {
+		return fmt.Errorf("range: -series and -len are required")
+	}
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	vals, err := db.SeriesValues(*series)
+	if err != nil {
+		return err
+	}
+	if *start < 0 || *start+*length > len(vals) {
+		return fmt.Errorf("range: window [%d,%d) out of range for %s", *start, *start+*length, *series)
+	}
+	ms, err := db.WithinThreshold(vals[*start:*start+*length], *maxDist, *limit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d matches within %.4f of %s[%d:%d):\n", len(ms), *maxDist, *series, *start, *start+*length)
+	for i, m := range ms {
+		fmt.Fprintf(stdout, "  #%-3d %s[%d:%d)  DTW=%.6f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.Dist)
+	}
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	series := fs.String("series", "", "query series name (required)")
+	start := fs.Int("start", 0, "query window start")
+	length := fs.Int("len", 0, "query window length (required)")
+	excludeSource := fs.Bool("exclude-source", false, "exclude the whole source series")
+	_ = fs.Parse(args)
+	if *series == "" || *length <= 0 {
+		return fmt.Errorf("query: -series and -len are required")
+	}
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	var m onex.Match
+	if *excludeSource {
+		m, err = db.BestMatchOtherSeries(*series, *start, *length)
+	} else {
+		m, err = db.BestMatchForSeries(*series, *start, *length)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "query:  %s[%d:%d)\n", *series, *start, *start+*length)
+	fmt.Fprintf(stdout, "match:  %s[%d:%d)\n", m.Series, m.Start, m.Start+m.Length)
+	fmt.Fprintf(stdout, "DTW:    %.6f (normalized units; ST = %.6f)\n", m.Dist, db.ST())
+	fmt.Fprintf(stdout, "values: %s\n", formatValues(m.Values, 8))
+	return nil
+}
+
+func cmdSeasonal(args []string) error {
+	fs := flag.NewFlagSet("seasonal", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	series := fs.String("series", "", "series to mine (required)")
+	minOcc := fs.Int("minocc", 2, "minimum occurrences")
+	_ = fs.Parse(args)
+	if *series == "" {
+		return fmt.Errorf("seasonal: -series is required")
+	}
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	pats, err := db.Seasonal(*series, *of.minLen, *of.maxLen, *minOcc)
+	if err != nil {
+		return err
+	}
+	if len(pats) == 0 {
+		fmt.Fprintln(stdout, "no repeating patterns found")
+		return nil
+	}
+	for i, p := range pats {
+		fmt.Fprintf(stdout, "#%d length=%d occurrences=%d mean_gap=%.1f starts=%v\n",
+			i+1, p.Length, p.Occurrences, p.MeanGap, p.Starts)
+	}
+	return nil
+}
+
+func cmdRecommend(args []string) error {
+	fs := flag.NewFlagSet("recommend", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	_ = fs.Parse(args)
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	recs, err := db.RecommendThresholds()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "data-driven similarity thresholds (normalized units):")
+	for _, r := range recs {
+		fmt.Fprintf(stdout, "  %-9s ST=%.6f (p%.0f of pairwise ED; ~%d groups, %.1fx compaction at probe length)\n",
+			r.Label, r.ST, r.Percentile*100, r.EstGroups, r.EstCompaction)
+	}
+	return nil
+}
+
+func cmdOverview(args []string) error {
+	fs := flag.NewFlagSet("overview", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	length := fs.Int("length", 0, "group length (0 = auto-select)")
+	k := fs.Int("k", 12, "top-k groups")
+	_ = fs.Parse(args)
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	groups := db.Overview(*length, *k)
+	if len(groups) == 0 {
+		fmt.Fprintln(stdout, "no groups")
+		return nil
+	}
+	fmt.Fprintf(stdout, "top %d similarity groups (length %d):\n", len(groups), groups[0].Length)
+	for i, g := range groups {
+		fmt.Fprintf(stdout, "  #%-3d count=%-5d rep=%s\n", i+1, g.Count, formatValues(g.Rep, 8))
+	}
+	return nil
+}
+
+func cmdViz(args []string) error {
+	fs := flag.NewFlagSet("viz", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	kind := fs.String("kind", "match", "match|radial|scatter|seasonal|overview")
+	series := fs.String("series", "", "query/source series")
+	other := fs.String("other", "", "second series (radial/scatter)")
+	start := fs.Int("start", 0, "query window start (match)")
+	length := fs.Int("len", 0, "window length (match/seasonal)")
+	k := fs.Int("k", 12, "group count (overview)")
+	out := fs.String("out", "", "output SVG path (required)")
+	_ = fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("viz: -out is required")
+	}
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	var svg string
+	switch *kind {
+	case "match":
+		if *series == "" || *length <= 0 {
+			return fmt.Errorf("viz match: -series and -len are required")
+		}
+		m, err := db.BestMatchForSeries(*series, *start, *length)
+		if err != nil {
+			return err
+		}
+		vals, err := db.SeriesValues(*series)
+		if err != nil {
+			return err
+		}
+		path := make(dist.WarpPath, len(m.Path))
+		for i, p := range m.Path {
+			path[i] = dist.PathStep{I: p[0], J: p[1]}
+		}
+		svg = viz.WarpChart(
+			fmt.Sprintf("%s[%d:%d) vs %s[%d:%d), DTW=%.4f", *series, *start, *start+*length,
+				m.Series, m.Start, m.Start+m.Length, m.Dist),
+			viz.NamedSeries{Name: *series, Values: vals[*start : *start+*length]},
+			viz.NamedSeries{Name: m.Series, Values: m.Values},
+			path, 640, 280)
+	case "radial", "scatter":
+		if *series == "" || *other == "" {
+			return fmt.Errorf("viz %s: -series and -other are required", *kind)
+		}
+		av, err := db.SeriesValues(*series)
+		if err != nil {
+			return err
+		}
+		bv, err := db.SeriesValues(*other)
+		if err != nil {
+			return err
+		}
+		a := viz.NamedSeries{Name: *series, Values: av}
+		b := viz.NamedSeries{Name: *other, Values: bv}
+		if *kind == "radial" {
+			svg = viz.RadialChart("radial comparison", a, b, 360)
+		} else {
+			svg = viz.ConnectedScatter("connected scatter", a, b, nil, 360)
+		}
+	case "seasonal":
+		if *series == "" {
+			return fmt.Errorf("viz seasonal: -series is required")
+		}
+		pats, err := db.Seasonal(*series, *length, *length, 2)
+		if err != nil {
+			return err
+		}
+		vals, err := db.SeriesValues(*series)
+		if err != nil {
+			return err
+		}
+		var segs []viz.SeasonalSegment
+		title := fmt.Sprintf("seasonal — %s (no pattern)", *series)
+		if len(pats) > 0 {
+			for _, st := range pats[0].Starts {
+				segs = append(segs, viz.SeasonalSegment{Start: st, Length: pats[0].Length})
+			}
+			title = fmt.Sprintf("seasonal — %s: %d x length-%d pattern", *series,
+				pats[0].Occurrences, pats[0].Length)
+		}
+		svg = viz.SeasonalView(title, vals, segs, 760, 260)
+	case "overview":
+		groups := db.Overview(*length, *k)
+		cells := make([]viz.OverviewCell, len(groups))
+		for i, g := range groups {
+			cells[i] = viz.OverviewCell{Rep: g.Rep, Count: g.Count,
+				Label: fmt.Sprintf("len %d · n=%d", g.Length, g.Count)}
+		}
+		svg = viz.OverviewGrid("ONEX similarity groups", cells, 4, 120, 72)
+	default:
+		return fmt.Errorf("viz: unknown kind %q", *kind)
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", *out)
+	return nil
+}
+
+func formatValues(vals []float64, max int) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range vals {
+		if i >= max {
+			fmt.Fprintf(&b, " ... +%d more", len(vals)-max)
+			break
+		}
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%.3f", v)
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs a subcommand with stdout redirected into a buffer.
+func capture(t *testing.T, f func([]string) error, args []string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	if err := f(args); err != nil {
+		t.Fatalf("%v (output so far: %s)", err, buf.String())
+	}
+	return buf.String()
+}
+
+// captureErr is capture for paths expected to fail.
+func captureErr(t *testing.T, f func([]string) error, args []string) error {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	defer func() { stdout = old }()
+	return f(args)
+}
+
+func genGrowth(t *testing.T, dir string) string {
+	t.Helper()
+	path := filepath.Join(dir, "growth.csv")
+	out := capture(t, cmdGen, []string{"-kind", "matters", "-indicator", "GrowthRate", "-out", path})
+	if !strings.Contains(out, "50 series") {
+		t.Fatalf("gen output: %s", out)
+	}
+	return path
+}
+
+func TestCmdGenAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"matters", "electricity", "cbf", "walks", "sines", "ecg"} {
+		path := filepath.Join(dir, kind+".csv")
+		out := capture(t, cmdGen, []string{"-kind", kind, "-out", path, "-len", "20"})
+		if !strings.Contains(out, "wrote") {
+			t.Fatalf("gen %s output: %s", kind, out)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("gen %s wrote nothing: %v", kind, err)
+		}
+	}
+	if err := captureErr(t, cmdGen, []string{"-kind", "bogus", "-out", filepath.Join(dir, "x.csv")}); err == nil {
+		t.Fatal("bogus kind accepted")
+	}
+	if err := captureErr(t, cmdGen, []string{"-kind", "matters"}); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := captureErr(t, cmdGen, []string{"-kind", "matters", "-indicator", "Bogus", "-out", filepath.Join(dir, "y.csv")}); err == nil {
+		t.Fatal("bogus indicator accepted")
+	}
+}
+
+func TestCmdBuildQueryRangeFlow(t *testing.T) {
+	dir := t.TempDir()
+	data := genGrowth(t, dir)
+	basePath := filepath.Join(dir, "growth.base")
+
+	out := capture(t, cmdBuild, []string{"-data", data, "-minlen", "4", "-maxlen", "9", "-out", basePath})
+	for _, want := range []string{"subsequences:", "groups:", "compaction:", "base saved:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("build output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := os.Stat(basePath); err != nil {
+		t.Fatal("base not written")
+	}
+
+	// Query without the base (rebuild) and with it must both answer.
+	q1 := capture(t, cmdQuery, []string{"-data", data, "-minlen", "4", "-maxlen", "9",
+		"-series", "MA", "-start", "0", "-len", "8", "-exclude-source"})
+	if !strings.Contains(q1, "match:") {
+		t.Fatalf("query output: %s", q1)
+	}
+	for _, line := range strings.Split(q1, "\n") {
+		if strings.HasPrefix(line, "match:") && strings.Contains(line, "MA[") {
+			t.Fatalf("exclude-source returned the source series: %s", line)
+		}
+	}
+	q2 := capture(t, cmdQuery, []string{"-data", data, "-base", basePath,
+		"-series", "MA", "-start", "0", "-len", "8", "-exclude-source"})
+	if q1 != q2 {
+		t.Fatalf("base-backed query differs:\n%s\nvs\n%s", q1, q2)
+	}
+
+	r := capture(t, cmdRange, []string{"-data", data, "-base", basePath,
+		"-series", "MA", "-len", "8", "-maxdist", "0.05", "-limit", "4"})
+	if !strings.Contains(r, "matches within") {
+		t.Fatalf("range output: %s", r)
+	}
+
+	// Error paths.
+	if err := captureErr(t, cmdQuery, []string{"-data", data}); err == nil {
+		t.Fatal("query without -series accepted")
+	}
+	if err := captureErr(t, cmdRange, []string{"-data", data, "-series", "MA", "-len", "9999"}); err == nil {
+		t.Fatal("out-of-range window accepted")
+	}
+	if err := captureErr(t, cmdBuild, []string{}); err == nil {
+		t.Fatal("build without -data accepted")
+	}
+}
+
+func TestCmdSeasonalRecommendOverview(t *testing.T) {
+	dir := t.TempDir()
+	power := filepath.Join(dir, "power.csv")
+	capture(t, cmdGen, []string{"-kind", "electricity", "-n", "1", "-len", "14", "-out", power})
+
+	s := capture(t, cmdSeasonal, []string{"-data", power, "-minlen", "12", "-maxlen", "12",
+		"-series", "household-00", "-band", "2"})
+	if !strings.Contains(s, "length=12") {
+		t.Fatalf("seasonal output: %s", s)
+	}
+	if err := captureErr(t, cmdSeasonal, []string{"-data", power}); err == nil {
+		t.Fatal("seasonal without -series accepted")
+	}
+
+	data := genGrowth(t, dir)
+	rec := capture(t, cmdRecommend, []string{"-data", data, "-minlen", "4", "-maxlen", "8"})
+	for _, want := range []string{"tight", "balanced", "loose"} {
+		if !strings.Contains(rec, want) {
+			t.Fatalf("recommend output missing %q:\n%s", want, rec)
+		}
+	}
+
+	ov := capture(t, cmdOverview, []string{"-data", data, "-minlen", "4", "-maxlen", "8",
+		"-length", "6", "-k", "5"})
+	if !strings.Contains(ov, "similarity groups") || !strings.Contains(ov, "count=") {
+		t.Fatalf("overview output: %s", ov)
+	}
+}
+
+func TestCmdViz(t *testing.T) {
+	dir := t.TempDir()
+	data := genGrowth(t, dir)
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"match", []string{"-kind", "match", "-series", "MA", "-len", "8"}},
+		{"radial", []string{"-kind", "radial", "-series", "MA", "-other", "CT"}},
+		{"scatter", []string{"-kind", "scatter", "-series", "MA", "-other", "CT"}},
+		{"overview", []string{"-kind", "overview", "-len", "6"}},
+		{"seasonal", []string{"-kind", "seasonal", "-series", "MA", "-len", "5"}},
+	} {
+		out := filepath.Join(dir, tc.name+".svg")
+		args := append([]string{"-data", data, "-minlen", "4", "-maxlen", "9", "-out", out}, tc.args...)
+		capture(t, cmdViz, args)
+		raw, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !strings.HasPrefix(string(raw), "<svg") {
+			t.Fatalf("%s: not an SVG", tc.name)
+		}
+	}
+	if err := captureErr(t, cmdViz, []string{"-data", data, "-kind", "bogus", "-out", filepath.Join(dir, "x.svg")}); err == nil {
+		t.Fatal("bogus viz kind accepted")
+	}
+	if err := captureErr(t, cmdViz, []string{"-data", data, "-kind", "match"}); err == nil {
+		t.Fatal("viz without -out accepted")
+	}
+}
+
+func TestIndicatorByName(t *testing.T) {
+	if _, ok := indicatorByName("growthrate"); !ok {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if _, ok := indicatorByName("nope"); ok {
+		t.Fatal("bogus indicator found")
+	}
+}
+
+func TestFormatValues(t *testing.T) {
+	s := formatValues([]float64{1, 2, 3, 4, 5}, 3)
+	if !strings.Contains(s, "+2 more") {
+		t.Fatalf("truncation marker missing: %s", s)
+	}
+	if got := formatValues([]float64{1.5}, 8); got != "[1.500]" {
+		t.Fatalf("formatValues = %s", got)
+	}
+}

@@ -1,0 +1,91 @@
+// Command onexd serves the ONEX HTTP API and demo page (paper §4's
+// client-server architecture).
+//
+// Usage:
+//
+//	onexd -addr :8080
+//	onexd -addr :8080 -preload growth=matters:GrowthRate,power=electricity
+//
+// Preloaded sources accept the same syntax as POST /api/datasets/load:
+// "matters:<Indicator>", "electricity", "cbf", "walks", "file:<path>".
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/onex"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	preload := flag.String("preload", "", "comma-separated name=source pairs to load at startup")
+	flag.Parse()
+
+	srv := server.New()
+	if *preload != "" {
+		for _, pair := range strings.Split(*preload, ",") {
+			name, source, ok := strings.Cut(pair, "=")
+			if !ok {
+				log.Fatalf("onexd: bad -preload entry %q (want name=source)", pair)
+			}
+			db, err := openSource(source)
+			if err != nil {
+				log.Fatalf("onexd: preload %s: %v", name, err)
+			}
+			srv.AddDB(name, db)
+			st := db.Stats()
+			log.Printf("loaded %s from %s: %d series, %d subsequences, %d groups (%.1fx compaction)",
+				name, source, st.Series, st.Subsequences, st.Groups, st.CompactionRatio)
+		}
+	}
+	httpServer := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      120 * time.Second, // preprocessing large loads takes time
+		IdleTimeout:       60 * time.Second,
+	}
+	// Graceful shutdown on SIGINT/SIGTERM: in-flight queries finish.
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("onexd shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpServer.Shutdown(ctx)
+	}()
+	log.Printf("onexd listening on %s", *addr)
+	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
+}
+
+// openSource mirrors the server's load endpoint for startup preloads,
+// keeping defaults suitable for interactive demo sizes.
+func openSource(source string) (*onex.DB, error) {
+	ds, err := server.DatasetForSource(source)
+	if err != nil {
+		return nil, err
+	}
+	maxLen := ds.MaxLen()
+	if maxLen > 48 {
+		maxLen = 48 // keep preload preprocessing interactive
+	}
+	db, err := onex.Open(ds, onex.Config{MaxLength: maxLen})
+	if err != nil {
+		return nil, fmt.Errorf("preprocess: %w", err)
+	}
+	return db, nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestOpenSourceGenerators(t *testing.T) {
+	for _, source := range []string{"matters:GrowthRate", "electricity", "cbf", "walks", "ecg"} {
+		db, err := openSource(source)
+		if err != nil {
+			t.Fatalf("openSource(%s): %v", source, err)
+		}
+		st := db.Stats()
+		if st.Series == 0 || st.Groups == 0 {
+			t.Fatalf("openSource(%s) built an empty base: %+v", source, st)
+		}
+	}
+}
+
+func TestOpenSourceErrors(t *testing.T) {
+	for _, source := range []string{"bogus", "matters:Nope", "file:/does/not/exist.csv"} {
+		if _, err := openSource(source); err == nil {
+			t.Fatalf("openSource(%s) accepted", source)
+		}
+	}
+}

@@ -1,0 +1,263 @@
+// Cross-module integration tests: each test drives a complete user journey
+// through the public surfaces (generators -> facade -> persistence ->
+// HTTP server -> visualization), asserting consistency between layers.
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/server"
+	"repro/internal/ts"
+	"repro/internal/viz"
+	"repro/onex"
+)
+
+// TestPipelineGenerateSaveReloadQuery exercises: generate -> save dataset
+// to disk -> reload -> open -> save base -> reopen from base -> identical
+// answers across the persistence boundary.
+func TestPipelineGenerateSaveReloadQuery(t *testing.T) {
+	dir := t.TempDir()
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate, Periods: 16})
+
+	csvPath := filepath.Join(dir, "growth.csv")
+	if err := ts.SaveFile(csvPath, data); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := onex.LoadDataset(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := onex.Open(reloaded, onex.Config{MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := db.BestMatchOtherSeries("MA", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	basePath := filepath.Join(dir, "growth.base")
+	if err := db.SaveBase(basePath); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := onex.OpenWithBase(reloaded, basePath, onex.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := db2.BestMatchOtherSeries("MA", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Series != m2.Series || m1.Start != m2.Start || math.Abs(m1.Dist-m2.Dist) > 1e-12 {
+		t.Fatalf("answers diverge across base persistence: %+v vs %+v", m1, m2)
+	}
+}
+
+// TestPipelineServerMatchesLibrary verifies that the HTTP layer returns the
+// same similarity answer as a direct library call on the same data.
+func TestPipelineServerMatchesLibrary(t *testing.T) {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate, Periods: 16})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.BestMatchForSeries("MA", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New()
+	srv.AddDB("growth", db)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	body, _ := json.Marshal(server.QueryRequest{Series: "MA", Start: 2, Length: 8})
+	resp, err := http.Post(hts.URL+"/api/datasets/growth/query/similarity", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got []onex.Match
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("server returned %d matches", len(got))
+	}
+	if got[0].Series != want.Series || got[0].Start != want.Start ||
+		math.Abs(got[0].Dist-want.Dist) > 1e-12 {
+		t.Fatalf("server answer %+v != library answer %+v", got[0], want)
+	}
+}
+
+// TestPipelineSeasonalToVisualization drives the Fig 4 flow: seasonal query
+// results render into a well-formed seasonal view whose segments equal the
+// pattern's occurrences.
+func TestPipelineSeasonalToVisualization(t *testing.T) {
+	data := gen.ElectricityLoad(gen.ElectricityOptions{Households: 1, Days: 14, SamplesPerDay: 12})
+	db, err := onex.Open(data, onex.Config{MinLength: 12, MaxLength: 12, Band: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := db.Seasonal("household-00", 12, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) == 0 {
+		t.Fatal("no seasonal pattern in daily-cycle data")
+	}
+
+	srv := server.New()
+	srv.AddDB("power", db)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+	resp, err := http.Get(hts.URL + "/viz/power/seasonal.svg?series=household-00&len=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	svg := buf.String()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(svg, "<svg") {
+		t.Fatalf("seasonal svg: %d", resp.StatusCode)
+	}
+	// The base series line plus one polyline per occurrence of the top
+	// pattern.
+	if got := strings.Count(svg, "<polyline"); got != 1+pats[0].Occurrences {
+		t.Fatalf("seasonal view polylines = %d, want %d", got, 1+pats[0].Occurrences)
+	}
+}
+
+// TestPipelineIncrementalInsertEndToEnd: add a series over HTTP, then find
+// it from a fresh query, and confirm the dataset stats moved.
+func TestPipelineIncrementalInsertEndToEnd(t *testing.T) {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate, Periods: 16})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := db.Stats().Subsequences
+
+	srv := server.New()
+	srv.AddDB("growth", db)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	ma, err := db.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := make([]float64, len(ma))
+	for i, v := range ma {
+		clone[i] = v + 0.0002
+	}
+	body, _ := json.Marshal(server.AddSeriesRequest{Series: "MA-clone", Values: clone})
+	resp, err := http.Post(hts.URL+"/api/datasets/growth/series", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add series status %d", resp.StatusCode)
+	}
+	if db.Stats().Subsequences <= before {
+		t.Fatal("insert did not grow the base")
+	}
+	m, err := db.BestMatchOtherSeries("MA", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Series != "MA-clone" {
+		t.Fatalf("clone not found as best match, got %s", m.Series)
+	}
+}
+
+// TestDeterminism: generators, bases and rendered charts are pure
+// functions of their seeds — the property every EXPERIMENTS.md number
+// relies on.
+func TestDeterminism(t *testing.T) {
+	g1 := gen.Matters(gen.MattersOptions{Indicator: gen.TechEmployment, Seed: 3})
+	g2 := gen.Matters(gen.MattersOptions{Indicator: gen.TechEmployment, Seed: 3})
+	for i := range g1.Series {
+		for j := range g1.Series[i].Values {
+			if g1.Series[i].Values[j] != g2.Series[i].Values[j] {
+				t.Fatal("generator not deterministic")
+			}
+		}
+	}
+	db1, err := onex.Open(g1, onex.Config{MinLength: 4, MaxLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := onex.Open(g2, onex.Config{MinLength: 4, MaxLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db1.ST() != db2.ST() || db1.Stats().Groups != db2.Stats().Groups {
+		t.Fatal("base construction not deterministic")
+	}
+	m1, err := db1.BestMatchOtherSeries("MA", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := db2.BestMatchOtherSeries("MA", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Series != m2.Series || m1.Dist != m2.Dist {
+		t.Fatal("queries not deterministic")
+	}
+	// Chart rendering is pure: same inputs, byte-identical SVG.
+	v1, _ := db1.SeriesValues("MA")
+	svgA := viz.LineChart("t", []viz.NamedSeries{{Name: "MA", Values: v1}}, 300, 150)
+	svgB := viz.LineChart("t", []viz.NamedSeries{{Name: "MA", Values: v1}}, 300, 150)
+	if svgA != svgB {
+		t.Fatal("chart rendering not deterministic")
+	}
+}
+
+// TestPipelineExactVsApproxConsistency: on the same data, the certified
+// exact mode must never return a worse match than approximate mode.
+func TestPipelineExactVsApproxConsistency(t *testing.T) {
+	data := gen.CBF(gen.CBFOptions{PerClass: 4, Length: 48})
+	approx, err := onex.Open(data, onex.Config{MinLength: 8, MaxLength: 12, ST: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := onex.Open(data, onex.Config{MinLength: 8, MaxLength: 12, ST: 0.12, Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, probe := range []struct {
+		name  string
+		start int
+		l     int
+	}{
+		{"cbf-cylinder-00", 3, 10},
+		{"cbf-bell-01", 0, 8},
+		{"cbf-funnel-02", 12, 12},
+	} {
+		ma, err := approx.BestMatchForSeries(probe.name, probe.start, probe.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		me, err := exact.BestMatchForSeries(probe.name, probe.start, probe.l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if me.Dist > ma.Dist+1e-9 {
+			t.Fatalf("%s: exact %g worse than approx %g", probe.name, me.Dist, ma.Dist)
+		}
+	}
+}

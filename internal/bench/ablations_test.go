@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunA1RepairAblation(t *testing.T) {
+	rows, err := RunA1(71)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var on, off A1Row
+	for _, r := range rows {
+		switch r.Config {
+		case "repair=on":
+			on = r
+		case "repair=off":
+			off = r
+		}
+	}
+	if on.Violations != 0 {
+		t.Fatalf("repaired base has %d violations", on.Violations)
+	}
+	if off.Violations == 0 {
+		t.Log("note: raw clustering happened to satisfy the invariant on this seed")
+	}
+	if on.Groups < off.Groups {
+		t.Fatalf("repair should not reduce group count: %d < %d", on.Groups, off.Groups)
+	}
+	if !strings.Contains(TableA1(rows), "violations") {
+		t.Fatal("table missing header")
+	}
+}
+
+func TestRunA2BandSweep(t *testing.T) {
+	rows, err := RunA2(73)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.QueryUs <= 0 {
+			t.Fatalf("missing timing: %+v", r)
+		}
+		if r.DistRatio < 1-1e-9 {
+			t.Fatalf("approximate beat exact at band %d: %g", r.Band, r.DistRatio)
+		}
+		if r.Top1 < 0 || r.Top1 > 1 {
+			t.Fatalf("bad top1: %+v", r)
+		}
+	}
+	// The last row is the unconstrained band.
+	if rows[len(rows)-1].Band != -1 {
+		t.Fatal("unconstrained band missing")
+	}
+	if !strings.Contains(TableA2(rows), "inf") {
+		t.Fatal("unconstrained band not rendered")
+	}
+}
+
+func TestRunA3CascadeStats(t *testing.T) {
+	rows, err := RunA3(79)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		total := r.PrunedKim + r.PrunedKeoghQ + r.PrunedKeoghC + r.DTWComputed
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("cascade fractions do not partition the windows: %+v (sum %g)", r, total)
+		}
+		if r.DTWComputed > 0.9 {
+			t.Fatalf("cascade pruned almost nothing: %+v", r)
+		}
+		if r.DTWAbandoned > r.DTWComputed {
+			t.Fatalf("more abandoned than computed: %+v", r)
+		}
+	}
+	if !strings.Contains(TableA3(rows), "keoghQ_pruned") {
+		t.Fatal("table missing header")
+	}
+}

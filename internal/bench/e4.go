@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/ts"
+)
+
+// E4Row is one threshold recommendation for one indicator (paper §3.3:
+// "the similarity in growth rate percentages may require very small
+// thresholds, whereas similarity between unemployment figures ... uses
+// higher thresholds").
+type E4Row struct {
+	Indicator  string
+	Unit       string
+	Label      string
+	ST         float64
+	Percentile float64
+	EstGroups  int
+	Compaction float64
+}
+
+// RunE4 produces data-driven threshold recommendations for two MATTERS
+// indicators with deliberately different unit scales, demonstrating that
+// the recommended ST tracks the data rather than a fixed constant.
+func RunE4(seed int64) ([]E4Row, error) {
+	if seed == 0 {
+		seed = 4
+	}
+	indicators := []gen.Indicator{gen.GrowthRate, gen.TechEmployment, gen.MedianIncome}
+	var rows []E4Row
+	for _, ind := range indicators {
+		d := gen.Matters(gen.MattersOptions{Indicator: ind, Seed: seed})
+		unit := d.Series[0].Label("unit")
+		recs, err := core.RecommendThresholds(d, core.ThresholdOptions{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: E4 %v: %w", ind, err)
+		}
+		for _, r := range recs {
+			rows = append(rows, E4Row{
+				Indicator:  ind.String(),
+				Unit:       unit,
+				Label:      r.Label,
+				ST:         r.ST,
+				Percentile: r.Percentile,
+				EstGroups:  r.EstGroups,
+				Compaction: r.EstCompaction,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// RunE4Normalized repeats the recommendation on min-max normalized copies,
+// the configuration the engine actually queries in; thresholds then live
+// in comparable [0,1]-range units across indicators.
+func RunE4Normalized(seed int64) ([]E4Row, error) {
+	if seed == 0 {
+		seed = 4
+	}
+	indicators := []gen.Indicator{gen.GrowthRate, gen.TechEmployment, gen.MedianIncome}
+	var rows []E4Row
+	for _, ind := range indicators {
+		d := gen.Matters(gen.MattersOptions{Indicator: ind, Seed: seed})
+		if err := ts.NormalizeMinMax(d); err != nil {
+			return nil, err
+		}
+		recs, err := core.RecommendThresholds(d, core.ThresholdOptions{Seed: seed})
+		if err != nil {
+			return nil, fmt.Errorf("bench: E4 %v: %w", ind, err)
+		}
+		for _, r := range recs {
+			rows = append(rows, E4Row{
+				Indicator:  ind.String(),
+				Unit:       "normalized",
+				Label:      r.Label,
+				ST:         r.ST,
+				Percentile: r.Percentile,
+				EstGroups:  r.EstGroups,
+				Compaction: r.EstCompaction,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// TableE4 renders E4 rows.
+func TableE4(rows []E4Row) string {
+	tb := NewTable("indicator", "unit", "label", "ST", "percentile", "est_groups", "compaction")
+	for _, r := range rows {
+		tb.AddRow(r.Indicator, r.Unit, r.Label, r.ST, r.Percentile, r.EstGroups, r.Compaction)
+	}
+	return tb.String()
+}

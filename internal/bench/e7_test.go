@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunE7SmallShape(t *testing.T) {
+	rows, err := RunE7(E7Config{TrainPerClass: 6, TestPerClass: 4, Length: 48, Band: 3, ST: 0.16, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Train != 18 || r.Test != 12 {
+			t.Fatalf("split sizes wrong: %+v", r)
+		}
+		if r.ONEXAcc < 0 || r.ONEXAcc > 1 || r.ExactAcc < 0 || r.ExactAcc > 1 {
+			t.Fatalf("bad accuracy: %+v", r)
+		}
+		// On these cleanly separated synthetic classes both classifiers
+		// should do far better than the 1/3 chance level.
+		if r.ExactAcc < 0.7 {
+			t.Fatalf("exact classifier failed sanity: %+v", r)
+		}
+		if r.ONEXAcc < r.ExactAcc-0.35 {
+			t.Fatalf("ONEX classification collapsed vs exact: %+v", r)
+		}
+		if r.ONEXUs <= 0 || r.ExactUs <= 0 {
+			t.Fatalf("missing timings: %+v", r)
+		}
+	}
+	if !strings.Contains(TableE7(rows), "onex_acc") {
+		t.Fatal("table missing header")
+	}
+}
+
+func TestRunE7Defaults(t *testing.T) {
+	cfg := DefaultE7()
+	if cfg.TrainPerClass == 0 || cfg.Length == 0 {
+		t.Fatal("default E7 config empty")
+	}
+}

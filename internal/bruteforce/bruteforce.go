@@ -1,0 +1,131 @@
+// Package bruteforce implements the naive exact baseline: scan every
+// candidate subsequence and compute its DTW distance to the query. It is
+// the ground truth for the accuracy experiments (E2) and the slow anchor of
+// the latency experiments (E1), and the oracle the engine's exact mode is
+// property-tested against.
+package bruteforce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// Result is a scan result.
+type Result struct {
+	Ref ts.SubSeq
+	// Dist is the raw DTW distance.
+	Dist float64
+	// Score is the ranking value: Dist, or Dist/max(len(q), candidate
+	// length) when Options.LengthNormalize is set. Results order by Score.
+	Score float64
+}
+
+// Options configures a scan.
+type Options struct {
+	// Band is the Sakoe-Chiba width (negative = unconstrained); must match
+	// the engine's band for comparable results.
+	Band int
+	// MinLength/MaxLength bound candidate lengths; zero means "len(query)"
+	// for both, i.e. the classic fixed-length subsequence search.
+	MinLength, MaxLength int
+	// EarlyAbandon keeps a running best and abandons hopeless candidates;
+	// disable to measure the fully naive cost.
+	EarlyAbandon bool
+	// LengthNormalize ranks candidates by DTW / max(len(q), candidate
+	// length), matching the engine's LengthNorm option.
+	LengthNormalize bool
+	// ExcludeSeries skips candidate series indices (self-match avoidance).
+	ExcludeSeries map[int]bool
+	// ExcludeOverlap skips candidates overlapping this window.
+	ExcludeOverlap ts.SubSeq
+}
+
+// ErrNoCandidates is returned when no window satisfies the constraints.
+var ErrNoCandidates = errors.New("bruteforce: no candidate windows")
+
+// BestMatch scans every candidate window and returns the DTW-closest one.
+func BestMatch(d *ts.Dataset, q []float64, opts Options) (Result, error) {
+	res, err := KBest(d, q, 1, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	return res[0], nil
+}
+
+// KBest returns the k DTW-closest candidate windows, best first.
+func KBest(d *ts.Dataset, q []float64, k int, opts Options) ([]Result, error) {
+	if len(q) < 2 {
+		return nil, fmt.Errorf("bruteforce: query length %d too short", len(q))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("bruteforce: k = %d must be >= 1", k)
+	}
+	minL, maxL := opts.MinLength, opts.MaxLength
+	if minL <= 0 {
+		minL = len(q)
+	}
+	if maxL <= 0 {
+		maxL = len(q)
+	}
+	norm := func(l int) float64 {
+		if !opts.LengthNormalize {
+			return 1
+		}
+		if len(q) > l {
+			return float64(len(q))
+		}
+		return float64(l)
+	}
+	var best []Result
+	worstScore := func() float64 {
+		if len(best) < k {
+			return math.Inf(1)
+		}
+		return best[len(best)-1].Score
+	}
+	insert := func(r Result) {
+		if len(best) < k {
+			best = append(best, r)
+		} else if r.Score < best[len(best)-1].Score {
+			best[len(best)-1] = r
+		} else {
+			return
+		}
+		for i := len(best) - 1; i > 0 && best[i].Score < best[i-1].Score; i-- {
+			best[i], best[i-1] = best[i-1], best[i]
+		}
+	}
+	for si, s := range d.Series {
+		if opts.ExcludeSeries != nil && opts.ExcludeSeries[si] {
+			continue
+		}
+		for l := minL; l <= maxL && l <= s.Len(); l++ {
+			nl := norm(l)
+			for st := 0; st+l <= s.Len(); st++ {
+				ref := ts.SubSeq{Series: si, Start: st, Length: l}
+				if opts.ExcludeOverlap.Length > 0 && ref.Overlaps(opts.ExcludeOverlap) {
+					continue
+				}
+				w := s.Values[st : st+l]
+				var dd float64
+				if opts.EarlyAbandon {
+					dd = dist.DTWEarlyAbandon(q, w, opts.Band, worstScore()*nl)
+					if math.IsInf(dd, 1) {
+						continue
+					}
+				} else {
+					dd = dist.DTWBanded(q, w, opts.Band)
+				}
+				insert(Result{Ref: ref, Dist: dd, Score: dd / nl})
+			}
+		}
+	}
+	if len(best) == 0 {
+		return nil, ErrNoCandidates
+	}
+	return best, nil
+}

@@ -1,0 +1,140 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+func walkDataset(t testing.TB, n, length int, seed int64) *ts.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("bf")
+	for i := 0; i < n; i++ {
+		vals := make([]float64, length)
+		v := rng.Float64()
+		for j := range vals {
+			v += rng.NormFloat64() * 0.1
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries("w"+strconv.Itoa(i), vals))
+	}
+	return d
+}
+
+func TestBestMatchSelfQuery(t *testing.T) {
+	d := walkDataset(t, 4, 30, 1)
+	q := d.Series[1].Values[5:13]
+	r, err := BestMatch(d, q, Options{Band: -1, EarlyAbandon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist != 0 {
+		t.Fatalf("self query dist = %g", r.Dist)
+	}
+	if r.Ref.Length != len(q) {
+		t.Fatalf("default search length = %d, want %d", r.Ref.Length, len(q))
+	}
+}
+
+func TestEarlyAbandonMatchesNaive(t *testing.T) {
+	d := walkDataset(t, 4, 25, 2)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		qlen := 4 + rng.Intn(8)
+		q := make([]float64, qlen)
+		v := rng.Float64()
+		for i := range q {
+			v += rng.NormFloat64() * 0.1
+			q[i] = v
+		}
+		for _, band := range []int{-1, 2} {
+			fast, err := BestMatch(d, q, Options{Band: band, EarlyAbandon: true, MinLength: 4, MaxLength: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			slow, err := BestMatch(d, q, Options{Band: band, EarlyAbandon: false, MinLength: 4, MaxLength: 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(fast.Dist-slow.Dist) > 1e-9 {
+				t.Fatalf("early abandon changed the answer: %g vs %g", fast.Dist, slow.Dist)
+			}
+		}
+	}
+}
+
+func TestKBestOrdered(t *testing.T) {
+	d := walkDataset(t, 5, 30, 4)
+	q := d.Series[0].Values[0:8]
+	res, err := KBest(d, q, 6, Options{Band: -1, EarlyAbandon: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i-1].Dist > res[i].Dist {
+			t.Fatal("results out of order")
+		}
+	}
+	// Distances recompute correctly.
+	for _, r := range res {
+		if got := dist.DTW(q, r.Ref.Values(d)); math.Abs(got-r.Dist) > 1e-9 {
+			t.Fatalf("distance mismatch: %g vs %g", got, r.Dist)
+		}
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	d := walkDataset(t, 3, 20, 5)
+	self := ts.SubSeq{Series: 0, Start: 2, Length: 6}
+	q := self.Values(d)
+	r, err := BestMatch(d, q, Options{Band: -1, EarlyAbandon: true, ExcludeOverlap: self})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ref.Overlaps(self) {
+		t.Fatal("overlap exclusion violated")
+	}
+	r2, err := BestMatch(d, q, Options{Band: -1, EarlyAbandon: true, ExcludeSeries: map[int]bool{0: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Ref.Series == 0 {
+		t.Fatal("series exclusion violated")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := walkDataset(t, 2, 10, 6)
+	if _, err := BestMatch(d, []float64{1}, Options{}); err == nil {
+		t.Fatal("short query accepted")
+	}
+	if _, err := KBest(d, []float64{1, 2}, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := BestMatch(d, make([]float64, 50), Options{}); err != ErrNoCandidates {
+		t.Fatalf("oversized query: err = %v, want ErrNoCandidates", err)
+	}
+}
+
+func TestVariableLengthSearch(t *testing.T) {
+	d := walkDataset(t, 3, 20, 7)
+	q := d.Series[0].Values[0:6]
+	r, err := BestMatch(d, q, Options{Band: -1, EarlyAbandon: true, MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ref.Length < 4 || r.Ref.Length > 9 {
+		t.Fatalf("length constraint violated: %d", r.Ref.Length)
+	}
+	if r.Dist != 0 {
+		t.Fatalf("self window should win at 0, got %g", r.Dist)
+	}
+}

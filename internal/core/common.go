@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// CommonPattern is a shape that recurs across several different series:
+// the "critical relationships between ... time series" of the paper's
+// introduction, mined directly from the base (a group whose members span
+// many series is a shared shape by construction).
+type CommonPattern struct {
+	// Group locates the similarity group.
+	Group GroupRef
+	// Length is the shape length.
+	Length int
+	// Rep is the shared shape (group representative).
+	Rep []float64
+	// SeriesCount is the number of distinct series represented.
+	SeriesCount int
+	// Occurrences holds one exemplar window per series (the member
+	// closest to the representative), sorted by series index.
+	Occurrences []ts.SubSeq
+	// TotalMembers is the full group cardinality.
+	TotalMembers int
+}
+
+// CommonOptions configures CommonPatterns.
+type CommonOptions struct {
+	// MinSeries is the smallest number of distinct series a shape must
+	// span to be reported (default 2).
+	MinSeries int
+	// MinLength/MaxLength bound the shape lengths; zero means the base's
+	// range.
+	MinLength, MaxLength int
+	// MaxPatterns caps the result list (default 16).
+	MaxPatterns int
+}
+
+// CommonPatterns finds shapes shared across series, ranked by the number
+// of distinct series spanned (descending), then by total cardinality. No
+// distance computation is needed: the base already encodes the mutual
+// similarity, so this is a pure scan of group membership.
+func (e *Engine) CommonPatterns(opts CommonOptions) []CommonPattern {
+	minSeries := opts.MinSeries
+	if minSeries < 2 {
+		minSeries = 2
+	}
+	minL, maxL := opts.MinLength, opts.MaxLength
+	if minL <= 0 {
+		minL = e.base.MinLength
+	}
+	if maxL <= 0 {
+		maxL = e.base.MaxLength
+	}
+	maxPatterns := opts.MaxPatterns
+	if maxPatterns <= 0 {
+		maxPatterns = 16
+	}
+
+	var out []CommonPattern
+	for _, l := range e.base.Lengths() {
+		if l < minL || l > maxL {
+			continue
+		}
+		for gi, g := range e.base.GroupsOfLength(l) {
+			perSeries := map[int]ts.SubSeq{}
+			perSeriesD := map[int]float64{}
+			for _, m := range g.Members {
+				d := dist.ED(m.Values(e.ds), g.Rep)
+				if prev, ok := perSeriesD[m.Series]; !ok || d < prev {
+					perSeries[m.Series] = m
+					perSeriesD[m.Series] = d
+				}
+			}
+			if len(perSeries) < minSeries {
+				continue
+			}
+			occ := make([]ts.SubSeq, 0, len(perSeries))
+			for _, m := range perSeries {
+				occ = append(occ, m)
+			}
+			sort.Slice(occ, func(i, j int) bool { return occ[i].Series < occ[j].Series })
+			out = append(out, CommonPattern{
+				Group:        GroupRef{Length: l, Index: gi},
+				Length:       l,
+				Rep:          g.Rep,
+				SeriesCount:  len(perSeries),
+				Occurrences:  occ,
+				TotalMembers: len(g.Members),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].SeriesCount != out[j].SeriesCount {
+			return out[i].SeriesCount > out[j].SeriesCount
+		}
+		if out[i].TotalMembers != out[j].TotalMembers {
+			return out[i].TotalMembers > out[j].TotalMembers
+		}
+		return out[i].Length > out[j].Length
+	})
+	if len(out) > maxPatterns {
+		out = out[:maxPatterns]
+	}
+	return out
+}

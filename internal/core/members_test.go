@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestGroupMembersDrillDown(t *testing.T) {
+	d, e := newTestWorld(t, 5, 30, 0.1, 5, 8, ModeApprox, -1)
+	ov := e.Overview(6, 3)
+	if len(ov) == 0 {
+		t.Fatal("no overview groups")
+	}
+	for _, gs := range ov {
+		members, err := e.GroupMembers(gs.Group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) != gs.Count {
+			t.Fatalf("member count %d != overview count %d", len(members), gs.Count)
+		}
+		half := e.Base().HalfST(gs.Group.Length)
+		for i, m := range members {
+			if err := m.Ref.Validate(d); err != nil {
+				t.Fatal(err)
+			}
+			if m.SeriesName != d.At(m.Ref.Series).Name {
+				t.Fatalf("series name mismatch: %s", m.SeriesName)
+			}
+			if m.RepED > half+1e-9 {
+				t.Fatalf("member %d beyond invariant radius: %g > %g", i, m.RepED, half)
+			}
+			if i > 0 && members[i-1].RepED > m.RepED {
+				t.Fatal("members not sorted by representative distance")
+			}
+			if len(m.Values) != gs.Group.Length {
+				t.Fatalf("member values length %d", len(m.Values))
+			}
+		}
+	}
+}
+
+func TestOverviewAll(t *testing.T) {
+	d, e := newTestWorld(t, 5, 30, 0.1, 5, 8, ModeApprox, -1)
+	all := e.OverviewAll(10)
+	if len(all) == 0 || len(all) > 10 {
+		t.Fatalf("overview size %d", len(all))
+	}
+	lengths := map[int]bool{}
+	for i, gs := range all {
+		if i > 0 && all[i-1].Count < gs.Count {
+			t.Fatal("not sorted by cardinality")
+		}
+		if gs.MaxRadius > e.Base().HalfST(gs.Group.Length)+1e-9 {
+			t.Fatal("radius exceeds invariant")
+		}
+		lengths[gs.Group.Length] = true
+		// The ref must resolve.
+		if _, err := e.GroupMembers(gs.Group); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = d
+	// k <= 0 returns everything.
+	if len(e.OverviewAll(0)) != e.Base().NumGroups() {
+		t.Fatal("k=0 should return all groups")
+	}
+}
+
+func TestGroupMembersErrors(t *testing.T) {
+	_, e := newTestWorld(t, 4, 24, 0.1, 4, 6, ModeApprox, -1)
+	if _, err := e.GroupMembers(GroupRef{Length: 5, Index: -1}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := e.GroupMembers(GroupRef{Length: 5, Index: 1 << 20}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := e.GroupMembers(GroupRef{Length: 999, Index: 0}); err == nil {
+		t.Fatal("unknown length accepted")
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// RangeOptions configures WithinThreshold.
+type RangeOptions struct {
+	// MaxDist is the inclusive score threshold (same units as Match.Score:
+	// raw DTW, or length-normalized DTW when the engine ranks normalized).
+	MaxDist float64
+	// Constraints narrow the candidate set.
+	Constraints QueryConstraints
+	// Limit caps the number of returned matches (0 = unlimited).
+	Limit int
+}
+
+// WithinThreshold returns every indexed subsequence whose DTW score from q
+// is at most MaxDist, ordered best-first. This is the paper's §3.3 range
+// flavour of similarity exploration ("showing the changes in the
+// similarity between sequences for varying parameters"): re-running with a
+// swept threshold shows how the match set grows.
+//
+// The search is exact regardless of the engine mode: a group can be
+// skipped only when the certified transfer bound proves every member lies
+// beyond the threshold.
+func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error) {
+	if len(q) < 2 {
+		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
+	}
+	if opts.MaxDist < 0 || math.IsNaN(opts.MaxDist) {
+		return nil, fmt.Errorf("core: WithinThreshold: MaxDist %g must be non-negative", opts.MaxDist)
+	}
+	lengths := e.candidateLengths(opts.Constraints)
+	if len(lengths) == 0 {
+		return nil, ErrNoMatch
+	}
+	var out []Match
+	for _, l := range lengths {
+		groups := e.base.GroupsOfLength(l)
+		if len(groups) == 0 {
+			continue
+		}
+		norm := e.norm(len(q), l)
+		rawMax := opts.MaxDist * norm
+		qU, qL := dist.Envelope(q, l, e.opts.Band)
+		w := dist.EffectiveBand(len(q), l, e.opts.Band)
+		slack := float64(2*w+1) * e.base.HalfST(l)
+		for gi, g := range groups {
+			// Certified skip: if DTW(q, rep) - slack > rawMax then every
+			// member is provably outside the threshold.
+			repDist := dist.DTWEarlyAbandon(q, g.Rep, e.opts.Band, rawMax+slack)
+			if math.IsInf(repDist, 1) {
+				continue
+			}
+			for _, m := range g.Members {
+				if opts.Constraints.excludes(m) {
+					continue
+				}
+				mv := m.Values(e.ds)
+				if dist.LBKim(q, mv) > rawMax {
+					continue
+				}
+				if dist.LBKeogh(mv, qU, qL, rawMax) > rawMax {
+					continue
+				}
+				d := dist.DTWEarlyAbandon(q, mv, e.opts.Band, rawMax)
+				// Early abandoning may return a finite value above the
+				// bound when no full DP row exceeded it; filter explicitly.
+				if math.IsInf(d, 1) || d > rawMax {
+					continue
+				}
+				out = append(out, Match{
+					Ref:     m,
+					Values:  mv,
+					Dist:    d,
+					Score:   d / norm,
+					RepDist: repDist,
+					Group:   GroupRef{Length: l, Index: gi},
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	// Paths only for the returned set.
+	return e.finishMatches(q, out), nil
+}

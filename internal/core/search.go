@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// QueryConstraints narrows a similarity search.
+type QueryConstraints struct {
+	// MinLength/MaxLength bound candidate subsequence lengths; zero values
+	// mean the full base range.
+	MinLength, MaxLength int
+	// ExcludeSeries skips candidates from the named series (used by the
+	// demo to avoid returning the query's own source series). Nil means no
+	// exclusion. Values are series indices.
+	ExcludeSeries map[int]bool
+	// ExcludeOverlap skips candidates overlapping this window (used by
+	// self-queries so the best match is not the query itself). Zero value
+	// excludes nothing.
+	ExcludeOverlap ts.SubSeq
+}
+
+func (c QueryConstraints) excludes(ref ts.SubSeq) bool {
+	if c.ExcludeSeries != nil && c.ExcludeSeries[ref.Series] {
+		return true
+	}
+	if c.ExcludeOverlap.Length > 0 && ref.Overlaps(c.ExcludeOverlap) {
+		return true
+	}
+	return false
+}
+
+// BestMatch returns the most similar indexed subsequence to q under DTW,
+// per the engine's mode. See BestMatchConstrained.
+func (e *Engine) BestMatch(q []float64) (Match, error) {
+	return e.BestMatchConstrained(q, QueryConstraints{})
+}
+
+// BestMatchConstrained is BestMatch with search constraints.
+func (e *Engine) BestMatchConstrained(q []float64, c QueryConstraints) (Match, error) {
+	ms, err := e.KBestMatchesConstrained(q, 1, c)
+	if err != nil {
+		return Match{}, err
+	}
+	return ms[0], nil
+}
+
+// KBestMatches returns the k most similar indexed subsequences, best first.
+func (e *Engine) KBestMatches(q []float64, k int) ([]Match, error) {
+	return e.KBestMatchesConstrained(q, k, QueryConstraints{})
+}
+
+// KBestMatchesConstrained runs the engine's configured search mode.
+//
+// ModeApprox (paper §3.2): rank groups by DTW(query, representative), then
+// return the best members of the top groups. ModeExact: prune groups with
+// the certified transfer bound and refine all survivors; the result is the
+// true DTW top-k over every indexed candidate.
+func (e *Engine) KBestMatchesConstrained(q []float64, k int, c QueryConstraints) ([]Match, error) {
+	if len(q) < 2 {
+		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: k = %d must be >= 1", k)
+	}
+	lengths := e.candidateLengths(c)
+	if len(lengths) == 0 {
+		return nil, ErrNoMatch
+	}
+	switch e.opts.Mode {
+	case ModeExact:
+		return e.kbestExact(q, k, c, lengths)
+	default:
+		return e.kbestApprox(q, k, c, lengths)
+	}
+}
+
+func (e *Engine) candidateLengths(c QueryConstraints) []int {
+	minL, maxL := c.MinLength, c.MaxLength
+	if minL <= 0 {
+		minL = e.base.MinLength
+	}
+	if maxL <= 0 {
+		maxL = e.base.MaxLength
+	}
+	var out []int
+	for _, l := range e.base.Lengths() {
+		if l >= minL && l <= maxL {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// norm returns the score divisor for candidates of length l: 1 for raw
+// ranking, max(len(q), l) for length-normalized ranking.
+func (e *Engine) norm(qlen, l int) float64 {
+	if !e.opts.LengthNorm {
+		return 1
+	}
+	if qlen > l {
+		return float64(qlen)
+	}
+	return float64(l)
+}
+
+// repCandidate is a group scored by its representative's DTW distance.
+type repCandidate struct {
+	ref      GroupRef
+	g        *grouping.Group
+	repDist  float64 // raw DTW(q, rep); +Inf when pruned
+	repScore float64 // repDist / norm
+	norm     float64
+}
+
+// scoreRepresentatives computes DTW(query, representative) for every group
+// of the candidate lengths, with an LB_Kim + LB_Keogh + early-abandon
+// cascade against the running k-th best representative score. Groups whose
+// representative provably cannot enter the top-k are returned with
+// repDist = +Inf. st, when non-nil, accumulates search statistics.
+func (e *Engine) scoreRepresentatives(q []float64, k int, lengths []int, st *SearchStats) []repCandidate {
+	var cands []repCandidate
+	// kth tracks the k-th best representative score seen so far; the raw
+	// abandon bound per length is score bound * norm.
+	kth := newKthTracker(k)
+	for _, l := range lengths {
+		groups := e.base.GroupsOfLength(l)
+		if len(groups) == 0 {
+			continue
+		}
+		norm := e.norm(len(q), l)
+		// One query envelope per candidate length: upper[j]/lower[j] bound
+		// q over the band window around rep position j, giving
+		// LBKeogh(rep, qU, qL) <= DTW(q, rep).
+		qU, qL := dist.Envelope(q, l, e.opts.Band)
+		for gi, g := range groups {
+			if st != nil {
+				st.Groups++
+			}
+			ub := kth.bound() * norm // raw-distance bound for this length
+			var repDist float64
+			if dist.LBKim(q, g.Rep) > ub {
+				repDist = math.Inf(1)
+				if st != nil {
+					st.GroupsLBPruned++
+				}
+			} else if dist.LBKeogh(g.Rep, qU, qL, ub) > ub {
+				repDist = math.Inf(1)
+				if st != nil {
+					st.GroupsLBPruned++
+				}
+			} else {
+				if st != nil {
+					st.RepDTW++
+				}
+				repDist = dist.DTWEarlyAbandon(q, g.Rep, e.opts.Band, ub)
+			}
+			score := repDist / norm
+			if !math.IsInf(repDist, 1) {
+				kth.offer(score)
+			}
+			cands = append(cands, repCandidate{
+				ref:      GroupRef{Length: l, Index: gi},
+				g:        g,
+				repDist:  repDist,
+				repScore: score,
+				norm:     norm,
+			})
+		}
+	}
+	return cands
+}
+
+// kbestApprox implements the paper's search: pick the top-k groups by
+// representative score, then take the best members inside them.
+func (e *Engine) kbestApprox(q []float64, k int, c QueryConstraints, lengths []int) ([]Match, error) {
+	return e.kbestApproxStats(q, k, c, lengths, nil)
+}
+
+// kbestApproxStats is kbestApprox with optional statistics collection.
+func (e *Engine) kbestApproxStats(q []float64, k int, c QueryConstraints, lengths []int, st *SearchStats) ([]Match, error) {
+	cands := e.scoreRepresentatives(q, k, lengths, st)
+	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
+
+	// Refine within the most promising groups. To fill k results we may
+	// need more than k groups when constraints exclude members, so walk
+	// groups in rep order until k matches are collected (or candidates are
+	// exhausted).
+	top := newTopK(k)
+	for _, cand := range cands {
+		if math.IsInf(cand.repDist, 1) {
+			break // remaining groups were pruned against the k-th best rep
+		}
+		if top.full() && cand.repScore > top.worst().Score {
+			// A group whose representative already scores worse than every
+			// collected member cannot improve an approximate top-k
+			// (heuristic: members can score below their representative).
+			break
+		}
+		e.refineGroup(q, cand, c, top, st)
+	}
+	// Constraints may have excluded every member of the promising groups;
+	// fall back to the groups whose representatives were LB-pruned during
+	// scoring so constrained queries still fill k results when possible.
+	if top.len() < k {
+		for i := range cands {
+			if !math.IsInf(cands[i].repDist, 1) {
+				continue
+			}
+			cands[i].repDist = dist.DTWBanded(q, cands[i].g.Rep, e.opts.Band)
+			cands[i].repScore = cands[i].repDist / cands[i].norm
+			e.refineGroup(q, cands[i], c, top, st)
+		}
+	}
+	if top.len() == 0 {
+		return nil, ErrNoMatch
+	}
+	return e.finishMatches(q, top.sorted()), nil
+}
+
+// kbestExact prunes groups with the certified transfer bound and refines
+// every survivor; the result is the true top-k.
+func (e *Engine) kbestExact(q []float64, k int, c QueryConstraints, lengths []int) ([]Match, error) {
+	cands := e.scoreRepresentatives(q, math.MaxInt32, lengths, nil) // no rep pruning in exact mode
+	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
+
+	top := newTopK(k)
+	for _, cand := range cands {
+		if math.IsInf(cand.repDist, 1) {
+			// scoreRepresentatives with k=MaxInt32 never abandons, so this
+			// only happens for genuinely infinite distances (impossible);
+			// treat defensively as unpruned.
+			cand.repDist = dist.DTWBanded(q, cand.g.Rep, e.opts.Band)
+			cand.repScore = cand.repDist / cand.norm
+		}
+		if top.full() {
+			// Certified lower bound for every member s of this group:
+			// DTW(q,s) >= DTW(q,rep) - mu*ED(rep,s) >= repDist - mu*ST_l/2,
+			// where mu is bounded by the band geometry of the (q,s) grid
+			// and ST_l is the absolute threshold at this group's length.
+			w := dist.EffectiveBand(len(q), cand.g.Length, e.opts.Band)
+			mu := float64(2*w + 1)
+			lower := (cand.repDist - mu*e.base.HalfST(cand.g.Length)) / cand.norm
+			if lower > top.worst().Score {
+				continue // provably cannot improve the top-k
+			}
+		}
+		e.refineGroup(q, cand, c, top, nil)
+	}
+	if top.len() == 0 {
+		return nil, ErrNoMatch
+	}
+	return e.finishMatches(q, top.sorted()), nil
+}
+
+// refineGroup scans a group's members with an LB cascade and early-abandon
+// DTW, offering improvements to the top-k accumulator.
+func (e *Engine) refineGroup(q []float64, cand repCandidate, c QueryConstraints, top *topK, st *SearchStats) {
+	l := cand.g.Length
+	qU, qL := dist.Envelope(q, l, e.opts.Band)
+	if st != nil {
+		st.GroupsRefined++
+		st.Members += len(cand.g.Members)
+	}
+	for _, m := range cand.g.Members {
+		if c.excludes(m) {
+			continue
+		}
+		mv := m.Values(e.ds)
+		ub := math.Inf(1)
+		if top.full() {
+			ub = top.worst().Score * cand.norm // raw-distance bound
+		}
+		if dist.LBKim(q, mv) > ub {
+			continue
+		}
+		if dist.LBKeogh(mv, qU, qL, ub) > ub {
+			continue
+		}
+		if st != nil {
+			st.MemberDTW++
+		}
+		d := dist.DTWEarlyAbandon(q, mv, e.opts.Band, ub)
+		if math.IsInf(d, 1) {
+			continue
+		}
+		top.offer(Match{
+			Ref:     m,
+			Values:  mv,
+			Dist:    d,
+			Score:   d / cand.norm,
+			RepDist: cand.repDist,
+			Group:   cand.ref,
+		})
+	}
+}
+
+// finishMatches fills in warping paths (presentation data) for the final
+// result set only, so inner loops never pay the full-matrix cost.
+func (e *Engine) finishMatches(q []float64, ms []Match) []Match {
+	for i := range ms {
+		_, path := dist.DTWPath(q, ms[i].Values, e.opts.Band)
+		ms[i].Path = path
+	}
+	return ms
+}
+
+// topK accumulates the k best matches seen, deduplicating by Ref.
+type topK struct {
+	k  int
+	ms []Match
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+func (t *topK) len() int   { return len(t.ms) }
+func (t *topK) full() bool { return len(t.ms) >= t.k }
+func (t *topK) worst() Match {
+	return t.ms[len(t.ms)-1]
+}
+
+func (t *topK) offer(m Match) {
+	for i := range t.ms {
+		if t.ms[i].Ref == m.Ref {
+			if m.Score < t.ms[i].Score {
+				t.ms[i] = m
+				t.restore()
+			}
+			return
+		}
+	}
+	if len(t.ms) < t.k {
+		t.ms = append(t.ms, m)
+		t.restore()
+		return
+	}
+	if m.Score < t.ms[len(t.ms)-1].Score {
+		t.ms[len(t.ms)-1] = m
+		t.restore()
+	}
+}
+
+// restore re-sorts the small accumulator (k is tiny; insertion sort).
+func (t *topK) restore() {
+	for i := len(t.ms) - 1; i > 0; i-- {
+		if t.ms[i].Score < t.ms[i-1].Score {
+			t.ms[i], t.ms[i-1] = t.ms[i-1], t.ms[i]
+		} else {
+			break
+		}
+	}
+}
+
+func (t *topK) sorted() []Match {
+	out := make([]Match, len(t.ms))
+	copy(out, t.ms)
+	return out
+}
+
+// kthTracker tracks the k-th smallest value offered, as the abandon bound
+// for representative scoring.
+type kthTracker struct {
+	k    int
+	vals []float64
+}
+
+func newKthTracker(k int) *kthTracker {
+	if k < 1 {
+		k = 1
+	}
+	if k > 1024 {
+		k = 1024 // exact mode passes MaxInt32 meaning "never prune"
+	}
+	return &kthTracker{k: k}
+}
+
+func (kt *kthTracker) offer(v float64) {
+	if len(kt.vals) < kt.k {
+		kt.vals = append(kt.vals, v)
+		sort.Float64s(kt.vals)
+		return
+	}
+	if v < kt.vals[kt.k-1] {
+		kt.vals[kt.k-1] = v
+		sort.Float64s(kt.vals)
+	}
+}
+
+func (kt *kthTracker) bound() float64 {
+	if len(kt.vals) < kt.k {
+		return math.Inf(1)
+	}
+	return kt.vals[kt.k-1]
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SweepPoint is one step of a threshold sweep: how many indexed
+// subsequences fall within MaxDist of the query.
+type SweepPoint struct {
+	MaxDist float64
+	Matches int
+}
+
+// SimilaritySweep evaluates WithinThreshold at several thresholds in one
+// pass (paper §2: "showing the changes in the similarity between sequences
+// for varying parameters"). The curve lets the analyst pick a threshold by
+// seeing where the match population jumps. Thresholds are evaluated
+// against the largest value, then counted per step, so the cost is one
+// range query, not len(thresholds).
+func (e *Engine) SimilaritySweep(q []float64, thresholds []float64, c QueryConstraints) ([]SweepPoint, error) {
+	if len(thresholds) == 0 {
+		return nil, fmt.Errorf("core: SimilaritySweep: no thresholds")
+	}
+	sorted := make([]float64, len(thresholds))
+	copy(sorted, thresholds)
+	sort.Float64s(sorted)
+	maxT := sorted[len(sorted)-1]
+	if maxT < 0 {
+		return nil, fmt.Errorf("core: SimilaritySweep: negative thresholds")
+	}
+	ms, err := e.WithinThreshold(q, RangeOptions{MaxDist: maxT, Constraints: c})
+	if err != nil {
+		return nil, err
+	}
+	// ms is sorted by score; count matches under each threshold by walking
+	// both sorted sequences once.
+	out := make([]SweepPoint, len(sorted))
+	mi := 0
+	for ti, th := range sorted {
+		for mi < len(ms) && ms[mi].Score <= th+1e-12 {
+			mi++
+		}
+		out[ti] = SweepPoint{MaxDist: th, Matches: mi}
+	}
+	return out, nil
+}
+
+// SearchStats counts the work one similarity query did; exposed so the
+// pruning story (paper §3.3 "early pruning of unpromising candidates") is
+// measurable on the ONEX side too.
+type SearchStats struct {
+	// Groups is the number of candidate groups considered.
+	Groups int
+	// GroupsLBPruned is how many were dropped by the LB cascade before any
+	// representative DTW.
+	GroupsLBPruned int
+	// RepDTW is the number of representative DTW evaluations started.
+	RepDTW int
+	// GroupsRefined is how many groups had their members scanned.
+	GroupsRefined int
+	// Members is the total membership of the refined groups.
+	Members int
+	// MemberDTW is the number of member DTW evaluations started (the rest
+	// were dropped by LB_Kim / LB_Keogh).
+	MemberDTW int
+}
+
+// BestMatchWithStats is BestMatch instrumented with search statistics.
+// It runs the approximate search regardless of the engine mode (the
+// statistics describe the paper's configuration).
+func (e *Engine) BestMatchWithStats(q []float64, c QueryConstraints) (Match, SearchStats, error) {
+	var st SearchStats
+	if len(q) < 2 {
+		return Match{}, st, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
+	}
+	lengths := e.candidateLengths(c)
+	if len(lengths) == 0 {
+		return Match{}, st, ErrNoMatch
+	}
+	ms, err := e.kbestApproxStats(q, 1, c, lengths, &st)
+	if err != nil {
+		return Match{}, st, err
+	}
+	return ms[0], st, nil
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/ts"
+)
+
+func thresholdDataset(t testing.TB, scale float64) *ts.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	d := ts.NewDataset("thr")
+	for i := 0; i < 6; i++ {
+		vals := make([]float64, 40)
+		v := scale / 2
+		for j := range vals {
+			v += rng.NormFloat64() * scale * 0.05
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries("s"+strconv.Itoa(i), vals))
+	}
+	return d
+}
+
+func TestRecommendThresholdsShape(t *testing.T) {
+	d := thresholdDataset(t, 1.0)
+	recs, err := RecommendThresholds(d, ThresholdOptions{ProbeLength: 8, SamplePairs: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d recommendations, want 3", len(recs))
+	}
+	labels := map[string]bool{}
+	for i, r := range recs {
+		if r.ST <= 0 {
+			t.Fatalf("non-positive ST: %+v", r)
+		}
+		if i > 0 && recs[i-1].ST > r.ST {
+			t.Fatal("recommendations not ascending in ST")
+		}
+		if i > 0 && recs[i-1].EstGroups < r.EstGroups {
+			t.Fatal("looser ST should not create more groups")
+		}
+		if r.EstGroups <= 0 {
+			t.Fatalf("trial clustering missing: %+v", r)
+		}
+		labels[r.Label] = true
+	}
+	for _, want := range []string{"tight", "balanced", "loose"} {
+		if !labels[want] {
+			t.Fatalf("missing label %q", want)
+		}
+	}
+}
+
+// The paper's motivation: differently-scaled data should receive
+// differently-scaled thresholds.
+func TestRecommendThresholdsTrackScale(t *testing.T) {
+	small := thresholdDataset(t, 0.01) // growth-rate-like units
+	big := thresholdDataset(t, 10000)  // headcount-like units
+	rs, err := RecommendThresholds(small, ThresholdOptions{ProbeLength: 8, SamplePairs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RecommendThresholds(big, ThresholdOptions{ProbeLength: 8, SamplePairs: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb[1].ST <= rs[1].ST*100 {
+		t.Fatalf("thresholds do not track units: big %g vs small %g", rb[1].ST, rs[1].ST)
+	}
+}
+
+func TestRecommendThresholdsDeterministic(t *testing.T) {
+	d := thresholdDataset(t, 1.0)
+	a, err := RecommendThresholds(d, ThresholdOptions{ProbeLength: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RecommendThresholds(d, ThresholdOptions{ProbeLength: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].ST != b[i].ST {
+			t.Fatal("same seed produced different recommendations")
+		}
+	}
+}
+
+func TestRecommendThresholdsDefaultsAndErrors(t *testing.T) {
+	d := thresholdDataset(t, 1.0)
+	recs, err := RecommendThresholds(d, ThresholdOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("defaults produced nothing")
+	}
+	if _, err := RecommendThresholds(ts.NewDataset("empty"), ThresholdOptions{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+	// Probe length longer than shortest series clamps instead of failing.
+	if _, err := RecommendThresholds(d, ThresholdOptions{ProbeLength: 10000}); err != nil {
+		t.Fatalf("oversized probe length not clamped: %v", err)
+	}
+}
+
+func TestRecommendThresholdsConstantData(t *testing.T) {
+	d := ts.NewDataset("const")
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = 5
+	}
+	d.MustAdd(ts.NewSeries("flat", vals))
+	d.MustAdd(ts.NewSeries("flat2", vals))
+	recs, err := RecommendThresholds(d, ThresholdOptions{ProbeLength: 6, SamplePairs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.ST <= 0 {
+			t.Fatalf("constant data produced non-positive ST: %+v", r)
+		}
+	}
+}

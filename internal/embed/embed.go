@@ -1,0 +1,216 @@
+// Package embed implements an embedding-based approximate subsequence
+// matcher in the style of Athitsos et al., "Approximate embedding-based
+// subsequence matching of time series" (SIGMOD 2008) — reference [1] of
+// the demo paper and the class of approximate competitors ONEX claims "up
+// to 19% more accurate results" against (E2).
+//
+// Offline, every candidate window x of an indexed length is mapped to the
+// vector F(x) = (DTW(x, r_1), ..., DTW(x, r_R)) of distances to R fixed
+// reference sequences. Online, the query is mapped the same way (R DTW
+// computations), the candidates are ranked by the L-infinity distance
+// |F(q) - F(x)| in embedding space, and the best `Refine` candidates are
+// re-scored with true DTW. Because DTW violates the triangle inequality,
+// the embedding ranking carries no guarantee — which is precisely the
+// accuracy gap the experiment measures.
+package embed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// Options configures index construction.
+type Options struct {
+	// NumRefs is the number of reference objects R (default 8).
+	NumRefs int
+	// Refine is the number of filter survivors re-scored with true DTW
+	// (default 10). This is the knob E2 equalizes against ONEX's group
+	// size for a fair accuracy comparison.
+	Refine int
+	// Band is the Sakoe-Chiba width used for all DTW (negative =
+	// unconstrained).
+	Band int
+	// Seed fixes reference selection (0 means a package default).
+	Seed int64
+}
+
+// Index is a built embedding index over a dataset.
+type Index struct {
+	ds   *ts.Dataset
+	opts Options
+	// refs are the reference sequences, one per embedding dimension.
+	refs [][]float64
+	// byLength caches per-candidate-length embedding tables.
+	byLength map[int]*lengthTable
+}
+
+type lengthTable struct {
+	windows []ts.SubSeq
+	// emb is row-major: emb[w*R+k] = DTW(window w, ref k).
+	emb []float64
+}
+
+// Result is one match.
+type Result struct {
+	Ref  ts.SubSeq
+	Dist float64
+	// Filtered is the number of candidates that were ranked without DTW.
+	Filtered int
+}
+
+// ErrLengthNotIndexed is returned when the query length was not built.
+var ErrLengthNotIndexed = errors.New("embed: query length not indexed")
+
+// Build constructs an index for the given candidate lengths. References
+// are random windows of the dataset resampled to a common pivot length;
+// each candidate window is embedded with banded DTW against every
+// reference (resampled to the candidate's length), which is the expensive
+// offline step the method trades for fast online filtering.
+func Build(d *ts.Dataset, lengths []int, opts Options) (*Index, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("embed: Build: %w", err)
+	}
+	if len(lengths) == 0 {
+		return nil, errors.New("embed: Build: no lengths requested")
+	}
+	numRefs := opts.NumRefs
+	if numRefs <= 0 {
+		numRefs = 8
+	}
+	refine := opts.Refine
+	if refine <= 0 {
+		refine = 10
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 2008
+	}
+	opts.NumRefs, opts.Refine, opts.Seed = numRefs, refine, seed
+	rng := rand.New(rand.NewSource(seed))
+
+	// Pick reference windows: random (series, start, length) draws, stored
+	// at a pivot length so one reference serves every candidate length.
+	pivot := 0
+	for _, l := range lengths {
+		pivot += l
+	}
+	pivot /= len(lengths)
+	if pivot < 2 {
+		pivot = 2
+	}
+	refs := make([][]float64, 0, numRefs)
+	for len(refs) < numRefs {
+		si := rng.Intn(d.Len())
+		s := d.Series[si]
+		if s.Len() < 2 {
+			continue
+		}
+		l := 2 + rng.Intn(s.Len()-1)
+		st := rng.Intn(s.Len() - l + 1)
+		refs = append(refs, dist.Resample(s.Values[st:st+l], pivot))
+	}
+
+	ix := &Index{ds: d, opts: opts, refs: refs, byLength: make(map[int]*lengthTable)}
+	for _, l := range lengths {
+		if l < 2 {
+			return nil, fmt.Errorf("embed: Build: candidate length %d too short", l)
+		}
+		if _, dup := ix.byLength[l]; dup {
+			continue
+		}
+		tbl := &lengthTable{}
+		// Resample references once per length.
+		refsAtL := make([][]float64, len(refs))
+		for k, r := range refs {
+			refsAtL[k] = dist.Resample(r, l)
+		}
+		for si, s := range d.Series {
+			for st := 0; st+l <= s.Len(); st++ {
+				w := s.Values[st : st+l]
+				tbl.windows = append(tbl.windows, ts.SubSeq{Series: si, Start: st, Length: l})
+				for _, r := range refsAtL {
+					tbl.emb = append(tbl.emb, dist.DTWBanded(w, r, opts.Band))
+				}
+			}
+		}
+		if len(tbl.windows) == 0 {
+			return nil, fmt.Errorf("embed: Build: no windows of length %d", l)
+		}
+		ix.byLength[l] = tbl
+	}
+	return ix, nil
+}
+
+// Lengths returns the indexed candidate lengths, ascending.
+func (ix *Index) Lengths() []int {
+	out := make([]int, 0, len(ix.byLength))
+	for l := range ix.byLength {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumWindows returns the candidate count for one length.
+func (ix *Index) NumWindows(length int) int {
+	if tbl, ok := ix.byLength[length]; ok {
+		return len(tbl.windows)
+	}
+	return 0
+}
+
+// BestMatch runs filter-and-refine for a query whose length is indexed.
+func (ix *Index) BestMatch(q []float64) (Result, error) {
+	tbl, ok := ix.byLength[len(q)]
+	if !ok {
+		return Result{}, fmt.Errorf("%w: %d", ErrLengthNotIndexed, len(q))
+	}
+	R := len(ix.refs)
+	// Embed the query.
+	fq := make([]float64, R)
+	for k, r := range ix.refs {
+		fq[k] = dist.DTWBanded(q, dist.Resample(r, len(q)), ix.opts.Band)
+	}
+	// Rank candidates by L-infinity embedding distance.
+	type scored struct {
+		idx   int
+		score float64
+	}
+	ranked := make([]scored, len(tbl.windows))
+	for w := range tbl.windows {
+		maxDiff := 0.0
+		base := w * R
+		for k := 0; k < R; k++ {
+			diff := math.Abs(fq[k] - tbl.emb[base+k])
+			if diff > maxDiff {
+				maxDiff = diff
+			}
+		}
+		ranked[w] = scored{idx: w, score: maxDiff}
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].score < ranked[j].score })
+
+	refine := ix.opts.Refine
+	if refine > len(ranked) {
+		refine = len(ranked)
+	}
+	best := Result{Dist: math.Inf(1), Filtered: len(ranked) - refine}
+	for _, cand := range ranked[:refine] {
+		ref := tbl.windows[cand.idx]
+		dd := dist.DTWEarlyAbandon(q, ref.Values(ix.ds), ix.opts.Band, best.Dist)
+		if dd < best.Dist {
+			best.Dist = dd
+			best.Ref = ref
+		}
+	}
+	if math.IsInf(best.Dist, 1) {
+		return Result{}, errors.New("embed: refine stage found no candidate")
+	}
+	return best, nil
+}

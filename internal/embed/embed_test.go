@@ -1,0 +1,154 @@
+package embed
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/ts"
+)
+
+func walkDataset(t testing.TB, n, length int, seed int64) *ts.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("emb")
+	for i := 0; i < n; i++ {
+		vals := make([]float64, length)
+		v := rng.Float64()
+		for j := range vals {
+			v += rng.NormFloat64() * 0.1
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries("e"+strconv.Itoa(i), vals))
+	}
+	return d
+}
+
+func TestBuildShape(t *testing.T) {
+	d := walkDataset(t, 4, 30, 1)
+	ix, err := Build(d, []int{8, 12}, Options{NumRefs: 4, Refine: 5, Band: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := ix.Lengths()
+	if len(ls) != 2 || ls[0] != 8 || ls[1] != 12 {
+		t.Fatalf("Lengths = %v", ls)
+	}
+	if got, want := ix.NumWindows(8), 4*(30-8+1); got != want {
+		t.Fatalf("NumWindows(8) = %d, want %d", got, want)
+	}
+	if ix.NumWindows(99) != 0 {
+		t.Fatal("unindexed length should report 0 windows")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	d := walkDataset(t, 2, 10, 2)
+	if _, err := Build(d, nil, Options{}); err == nil {
+		t.Fatal("no lengths accepted")
+	}
+	if _, err := Build(d, []int{1}, Options{}); err == nil {
+		t.Fatal("length 1 accepted")
+	}
+	if _, err := Build(d, []int{50}, Options{}); err == nil {
+		t.Fatal("impossible length accepted")
+	}
+	if _, err := Build(ts.NewDataset("empty"), []int{4}, Options{}); err == nil {
+		t.Fatal("empty dataset accepted")
+	}
+}
+
+func TestBestMatchSelfQuery(t *testing.T) {
+	d := walkDataset(t, 4, 30, 3)
+	ix, err := Build(d, []int{10}, Options{NumRefs: 6, Refine: 8, Band: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := d.Series[1].Values[5:15]
+	r, err := ix.BestMatch(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query's own window embeds identically to itself (embedding
+	// distance 0), so it always survives filtering and refines to 0.
+	if r.Dist != 0 {
+		t.Fatalf("self query dist = %g", r.Dist)
+	}
+}
+
+func TestBestMatchErrors(t *testing.T) {
+	d := walkDataset(t, 3, 20, 4)
+	ix, err := Build(d, []int{8}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.BestMatch(make([]float64, 9)); err == nil {
+		t.Fatal("unindexed length accepted")
+	}
+}
+
+// The method is approximate: it must never beat the exact oracle, and with
+// a full refine budget it must equal it.
+func TestApproximationSandwich(t *testing.T) {
+	d := walkDataset(t, 5, 26, 5)
+	const qlen = 9
+	full := 5 * (26 - qlen + 1)
+	ixSmall, err := Build(d, []int{qlen}, Options{NumRefs: 4, Refine: 3, Band: -1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ixFull, err := Build(d, []int{qlen}, Options{NumRefs: 4, Refine: full, Band: -1, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		q := make([]float64, qlen)
+		v := rng.Float64()
+		for i := range q {
+			v += rng.NormFloat64() * 0.1
+			q[i] = v
+		}
+		oracle, err := bruteforce.BestMatch(d, q, bruteforce.Options{Band: -1, EarlyAbandon: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		small, err := ixSmall.BestMatch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if small.Dist < oracle.Dist-1e-9 {
+			t.Fatalf("approximate beat the oracle: %g < %g", small.Dist, oracle.Dist)
+		}
+		fullRes, err := ixFull.BestMatch(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fullRes.Dist-oracle.Dist) > 1e-9 {
+			t.Fatalf("full refine budget should be exact: %g vs %g", fullRes.Dist, oracle.Dist)
+		}
+		if small.Filtered != full-3 {
+			t.Fatalf("Filtered = %d, want %d", small.Filtered, full-3)
+		}
+	}
+}
+
+func TestDeterministicBuild(t *testing.T) {
+	d := walkDataset(t, 3, 20, 8)
+	a, err := Build(d, []int{6}, Options{NumRefs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(d, []int{6}, Options{NumRefs: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, tb := a.byLength[6], b.byLength[6]
+	for i := range ta.emb {
+		if ta.emb[i] != tb.emb[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/ts"
+)
+
+// CBFOptions configures the cylinder-bell-funnel generator.
+type CBFOptions struct {
+	// PerClass is the number of series generated for each of the three
+	// classes (default 10).
+	PerClass int
+	// Length is the series length (default 128).
+	Length int
+	// Seed fixes the random stream (0 means a package default).
+	Seed int64
+}
+
+// CBF generates the classic cylinder-bell-funnel benchmark (Saito 1994),
+// the standard labelled synthetic family in the DTW literature. Class
+// labels ("cylinder", "bell", "funnel") are stored in Meta["class"].
+//
+// Each series places an event of random onset a, offset b and amplitude
+// 6+eta on a noise floor:
+//
+//	cylinder: flat top        bell: linear rise        funnel: linear fall
+func CBF(opts CBFOptions) *ts.Dataset {
+	perClass := opts.PerClass
+	if perClass <= 0 {
+		perClass = 10
+	}
+	length := opts.Length
+	if length <= 0 {
+		length = 128
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1994
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("cbf")
+	classes := []string{"cylinder", "bell", "funnel"}
+	idx := 0
+	for _, class := range classes {
+		for c := 0; c < perClass; c++ {
+			a := 1 + int(float64(length)*0.15) + rng.Intn(length/8)
+			b := a + length/4 + rng.Intn(length/4)
+			if b >= length {
+				b = length - 1
+			}
+			amp := 6 + rng.NormFloat64()
+			vals := make([]float64, length)
+			for i := range vals {
+				vals[i] = rng.NormFloat64()
+				if i >= a && i <= b {
+					switch class {
+					case "cylinder":
+						vals[i] += amp
+					case "bell":
+						vals[i] += amp * float64(i-a) / float64(b-a)
+					case "funnel":
+						vals[i] += amp * float64(b-i) / float64(b-a)
+					}
+				}
+			}
+			s := ts.NewSeries(fmt.Sprintf("cbf-%s-%02d", class, c), vals)
+			s.SetLabel("class", class)
+			d.MustAdd(s)
+			idx++
+		}
+	}
+	return d
+}
+
+// WalkOptions configures RandomWalks.
+type WalkOptions struct {
+	// Num is the number of series (default 10).
+	Num int
+	// Length is the series length (default 128).
+	Length int
+	// Drift adds a constant per-step trend.
+	Drift float64
+	// Step scales the innovation magnitude (default 1.0).
+	Step float64
+	// Seed fixes the random stream (0 means a package default).
+	Seed int64
+}
+
+// RandomWalks generates unlabelled Gaussian random walks, the scaling
+// workload of the latency experiments (series count and length are free
+// parameters with no planted structure).
+func RandomWalks(opts WalkOptions) *ts.Dataset {
+	num := opts.Num
+	if num <= 0 {
+		num = 10
+	}
+	length := opts.Length
+	if length <= 0 {
+		length = 128
+	}
+	step := opts.Step
+	if step <= 0 {
+		step = 1.0
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 262
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("walks")
+	for i := 0; i < num; i++ {
+		vals := make([]float64, length)
+		v := rng.NormFloat64()
+		for j := range vals {
+			v += rng.NormFloat64()*step + opts.Drift
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries(fmt.Sprintf("walk-%03d", i), vals))
+	}
+	return d
+}
+
+// SineOptions configures WarpedSines.
+type SineOptions struct {
+	// PerClass is the number of series per frequency class (default 10).
+	PerClass int
+	// Length is the series length (default 128).
+	Length int
+	// Classes is the number of distinct frequencies (default 3).
+	Classes int
+	// MaxWarp is the largest random local time distortion in samples
+	// (default Length/16). This is what makes DTW necessary: two series of
+	// one class are near-identical under warping but far under pointwise
+	// distances.
+	MaxWarp int
+	// Seed fixes the random stream (0 means a package default).
+	Seed int64
+}
+
+// WarpedSines generates sinusoids with class-determined frequency, random
+// phase, and a smooth random time-warp applied to each instance. Labels
+// ("f0", "f1", ...) are stored in Meta["class"]. This family realizes the
+// paper's motivating misalignment: class members match under DTW but not
+// under Euclidean comparison.
+func WarpedSines(opts SineOptions) *ts.Dataset {
+	perClass := opts.PerClass
+	if perClass <= 0 {
+		perClass = 10
+	}
+	length := opts.Length
+	if length <= 0 {
+		length = 128
+	}
+	classes := opts.Classes
+	if classes <= 0 {
+		classes = 3
+	}
+	maxWarp := opts.MaxWarp
+	if maxWarp <= 0 {
+		maxWarp = length / 16
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 440
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("warpedsines")
+	for c := 0; c < classes; c++ {
+		freq := 1.5 + float64(c)*1.25 // cycles over the series
+		for i := 0; i < perClass; i++ {
+			phase := rng.Float64() * 2 * math.Pi
+			// Smooth warp: cumulative sum of small positive increments,
+			// normalized to [0,1], bending time by up to maxWarp samples.
+			warp := smoothWarp(rng, length, float64(maxWarp))
+			vals := make([]float64, length)
+			for j := range vals {
+				tt := (float64(j) + warp[j]) / float64(length)
+				vals[j] = math.Sin(2*math.Pi*freq*tt+phase) + rng.NormFloat64()*0.05
+			}
+			s := ts.NewSeries(fmt.Sprintf("sine-f%d-%02d", c, i), vals)
+			s.SetLabel("class", fmt.Sprintf("f%d", c))
+			d.MustAdd(s)
+		}
+	}
+	return d
+}
+
+// ECGOptions configures the synthetic electrocardiogram generator.
+type ECGOptions struct {
+	// Num is the number of recordings (default 5).
+	Num int
+	// Beats is the number of heartbeats per recording (default 20).
+	Beats int
+	// SamplesPerBeat sets the nominal beat resolution (default 32).
+	SamplesPerBeat int
+	// Arrhythmic inserts irregular RR intervals and occasional ectopic
+	// beats in half the recordings, labelled Meta["class"]="arrhythmia"
+	// (the rest are "normal").
+	Arrhythmic bool
+	// Seed fixes the random stream (0 means a package default).
+	Seed int64
+}
+
+// ECG synthesizes electrocardiogram-like recordings: each beat is a PQRST
+// complex (sum of Gaussian bumps) with naturally varying RR intervals, the
+// classic medical workload of the DTW literature (the UCR archive's ECG
+// families). Beat-to-beat timing jitter is exactly the misalignment that
+// makes DTW necessary and pointwise distances misleading.
+func ECG(opts ECGOptions) *ts.Dataset {
+	num := opts.Num
+	if num <= 0 {
+		num = 5
+	}
+	beats := opts.Beats
+	if beats <= 0 {
+		beats = 20
+	}
+	spb := opts.SamplesPerBeat
+	if spb <= 0 {
+		spb = 32
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1887 // Waller's first human ECG
+	}
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("ecg")
+	for rec := 0; rec < num; rec++ {
+		arr := opts.Arrhythmic && rec%2 == 1
+		amp := 0.9 + rng.Float64()*0.3
+		var vals []float64
+		for b := 0; b < beats; b++ {
+			// RR variability: normal sinus ~5%, arrhythmic up to 35%
+			// with occasional dropped/early beats.
+			jitter := rng.NormFloat64() * 0.05
+			if arr && rng.Float64() < 0.25 {
+				jitter = rng.NormFloat64() * 0.35
+			}
+			beatLen := int(float64(spb) * (1 + jitter))
+			if beatLen < spb/2 {
+				beatLen = spb / 2
+			}
+			ectopic := arr && rng.Float64() < 0.15
+			for i := 0; i < beatLen; i++ {
+				tt := float64(i) / float64(beatLen) // beat phase 0..1
+				v := pqrst(tt, amp, ectopic)
+				v += rng.NormFloat64() * 0.02
+				vals = append(vals, v)
+			}
+		}
+		s := ts.NewSeries(fmt.Sprintf("ecg-%02d", rec), vals)
+		if arr {
+			s.SetLabel("class", "arrhythmia")
+		} else {
+			s.SetLabel("class", "normal")
+		}
+		s.SetLabel("unit", "mV")
+		d.MustAdd(s)
+	}
+	return d
+}
+
+// pqrst evaluates one beat's waveform at phase tt in [0,1): P wave, QRS
+// complex, T wave as Gaussian bumps. Ectopic beats widen and inflate QRS
+// and drop the P wave, the classic premature-ventricular morphology.
+func pqrst(tt, amp float64, ectopic bool) float64 {
+	bump := func(center, width, height float64) float64 {
+		diff := tt - center
+		return height * math.Exp(-diff*diff/(2*width*width))
+	}
+	if ectopic {
+		return amp * (bump(0.42, 0.07, 1.6) - bump(0.34, 0.045, 0.5) - bump(0.52, 0.05, 0.4) +
+			bump(0.72, 0.06, 0.35))
+	}
+	return amp * (bump(0.18, 0.035, 0.18) - // P
+		bump(0.36, 0.018, 0.25) + // Q
+		bump(0.40, 0.022, 1.8) - // R
+		bump(0.45, 0.020, 0.45) + // S
+		bump(0.68, 0.055, 0.4)) // T
+}
+
+// smoothWarp builds a slowly-varying displacement field bounded by amp.
+func smoothWarp(rng *rand.Rand, length int, amp float64) []float64 {
+	warp := make([]float64, length)
+	// Sum of a few random low-frequency sinusoids.
+	k := 2 + rng.Intn(3)
+	for h := 0; h < k; h++ {
+		f := 0.5 + rng.Float64()*1.5
+		ph := rng.Float64() * 2 * math.Pi
+		a := amp / float64(k) * rng.Float64()
+		for j := range warp {
+			warp[j] += a * math.Sin(2*math.Pi*f*float64(j)/float64(length)+ph)
+		}
+	}
+	return warp
+}

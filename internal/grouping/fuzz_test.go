@@ -1,0 +1,60 @@
+package grouping
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ts"
+)
+
+// FuzzRead asserts the base deserializer never panics and never accepts
+// silently corrupted data: arbitrary bytes either fail cleanly or decode
+// into a structurally plausible base.
+func FuzzRead(f *testing.F) {
+	// Seed with a genuine serialized base plus adversarial variants.
+	d := ts.NewDataset("fuzzseed")
+	d.MustAdd(ts.NewSeries("a", []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.4, 0.3, 0.2, 0.1, 0.2, 0.3, 0.4}))
+	d.MustAdd(ts.NewSeries("b", []float64{0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5}))
+	b, err := Build(d, Options{ST: 0.05, MinLength: 4, MaxLength: 5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("ONEXBAS1"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		back, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Anything that decodes must be internally consistent.
+		if back.ByLength == nil {
+			t.Fatal("decoded base has nil map")
+		}
+		for l, lg := range back.ByLength {
+			if lg.Length != l {
+				t.Fatalf("length key %d != %d", l, lg.Length)
+			}
+			for _, g := range lg.Groups {
+				if len(g.Rep) != l {
+					t.Fatal("rep length mismatch survived CRC")
+				}
+				for _, m := range g.Members {
+					if m.Length != l {
+						t.Fatal("member length mismatch survived CRC")
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,488 @@
+// Package grouping implements the ONEX base: the offline half of the ONEX
+// contribution. All subsequences of a dataset within a configurable length
+// range are clustered, per length, into "ONEX similarity groups" using the
+// inexpensive Euclidean (L1) distance. Each group is summarized by a
+// representative (the centroid of its members), and construction maintains
+// the paper's §3.1 invariant:
+//
+//   - every member is within ST/2 of its group representative, hence
+//   - any two members of a group are within ST of each other (ED is a
+//     metric).
+//
+// Because the centroid drifts while members stream in, the invariant can be
+// violated for early members; Build therefore finishes with a repair pass
+// that freezes representatives and re-homes (or re-seeds) any member that
+// drifted out, so the invariant holds exactly for the final base. The
+// online half (internal/core) explores this compact base with DTW instead
+// of the raw data.
+package grouping
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// Group is one ONEX similarity group: same-length subsequences that are
+// mutually within the similarity threshold, summarized by a representative.
+type Group struct {
+	// Length is the length of every member and of Rep.
+	Length int
+	// Rep is the group representative: the member centroid at build time,
+	// frozen by the repair pass (see package comment).
+	Rep []float64
+	// Members references every subsequence assigned to this group. Members
+	// never overlap-deduplicate: each window of the dataset appears in
+	// exactly one group of its length.
+	Members []ts.SubSeq
+}
+
+// Count returns the group cardinality. The overview pane color-codes by it.
+func (g *Group) Count() int { return len(g.Members) }
+
+// MaxRadius returns the largest ED between a member and the representative;
+// at most ST/2 for a repaired base.
+func (g *Group) MaxRadius(d *ts.Dataset) float64 {
+	maxR := 0.0
+	for _, m := range g.Members {
+		if r := dist.ED(m.Values(d), g.Rep); r > maxR {
+			maxR = r
+		}
+	}
+	return maxR
+}
+
+// LengthGroups holds every group of one subsequence length.
+type LengthGroups struct {
+	Length int
+	Groups []*Group
+}
+
+// Options configures Build.
+type Options struct {
+	// ST is the per-point similarity threshold in the dataset's
+	// (normalized) units: a group of length-l subsequences uses the
+	// absolute threshold ST*l, and members are kept within ST*l/2 of their
+	// representative. Expressing ST per point makes one setting meaningful
+	// across every indexed length (ED sums grow linearly with length),
+	// which is how ONEX compares sequences of different lengths.
+	ST float64
+	// MinLength and MaxLength bound the subsequence lengths that are
+	// enumerated and grouped. MinLength below 2 is raised to 2 (length-1
+	// windows carry no shape). MaxLength 0 means the longest series.
+	MinLength, MaxLength int
+	// Workers bounds the number of concurrent per-length builders;
+	// 0 means GOMAXPROCS.
+	Workers int
+	// SkipRepair preserves the raw online-clustering result (the original
+	// ONEX system behaviour). The ST/2 invariant may then be violated by
+	// centroid drift; Validate reports by how much.
+	SkipRepair bool
+}
+
+// BuildStats records what construction did; E3 reports these.
+type BuildStats struct {
+	Duration   time.Duration
+	NumWindows int // subsequences enumerated
+	NumGroups  int // groups in the final base
+	EDComputed int // full or abandoned ED evaluations during assignment
+	Rehomed    int // members moved by the repair pass
+	Reseeded   int // singleton groups created by the repair pass
+}
+
+// Base is the complete ONEX base for one dataset.
+type Base struct {
+	// DatasetName and DatasetSum tie the base to the dataset it was built
+	// from; Load verifies both before use.
+	DatasetName string
+	DatasetSum  uint64
+	// Norm records the normalization the dataset had at build time.
+	Norm ts.NormKind
+
+	// ST is the per-point similarity threshold (see Options.ST); the
+	// absolute threshold for length l is HalfST(l)*2.
+	ST                   float64
+	MinLength, MaxLength int
+
+	// ByLength maps subsequence length to that length's groups.
+	ByLength map[int]*LengthGroups
+
+	BuildStats BuildStats
+}
+
+// ErrNoData is returned when the dataset has no subsequence in range.
+var ErrNoData = errors.New("grouping: no subsequences in the configured length range")
+
+// Build constructs the ONEX base for dataset d. The dataset should already
+// be normalized (ST is interpreted in the dataset's value units either
+// way). Build does not retain d; callers pass it again where needed.
+func Build(d *ts.Dataset, opts Options) (*Base, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("grouping: Build: %w", err)
+	}
+	if opts.ST <= 0 {
+		return nil, fmt.Errorf("grouping: Build: ST must be positive, got %g", opts.ST)
+	}
+	minLen := opts.MinLength
+	if minLen < 2 {
+		minLen = 2
+	}
+	maxLen := opts.MaxLength
+	if maxLen <= 0 || maxLen > d.MaxLen() {
+		maxLen = d.MaxLen()
+	}
+	if minLen > maxLen {
+		return nil, fmt.Errorf("grouping: Build: empty length range [%d,%d]", minLen, maxLen)
+	}
+	start := time.Now()
+
+	lengths := make([]int, 0, maxLen-minLen+1)
+	for l := minLen; l <= maxLen; l++ {
+		lengths = append(lengths, l)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(lengths) {
+		workers = len(lengths)
+	}
+
+	type lengthResult struct {
+		lg    *LengthGroups
+		stats BuildStats
+	}
+	results := make([]lengthResult, len(lengths))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				lg, st := buildLength(d, lengths[idx], opts.ST, !opts.SkipRepair)
+				results[idx] = lengthResult{lg: lg, stats: st}
+			}
+		}()
+	}
+	for idx := range lengths {
+		work <- idx
+	}
+	close(work)
+	wg.Wait()
+
+	b := &Base{
+		DatasetName: d.Name,
+		DatasetSum:  DatasetChecksum(d),
+		Norm:        d.Norm.Kind,
+		ST:          opts.ST,
+		MinLength:   minLen,
+		MaxLength:   maxLen,
+		ByLength:    make(map[int]*LengthGroups),
+	}
+	for _, res := range results {
+		if res.lg == nil || len(res.lg.Groups) == 0 {
+			continue
+		}
+		b.ByLength[res.lg.Length] = res.lg
+		b.BuildStats.NumWindows += res.stats.NumWindows
+		b.BuildStats.NumGroups += res.stats.NumGroups
+		b.BuildStats.EDComputed += res.stats.EDComputed
+		b.BuildStats.Rehomed += res.stats.Rehomed
+		b.BuildStats.Reseeded += res.stats.Reseeded
+	}
+	if len(b.ByLength) == 0 {
+		return nil, ErrNoData
+	}
+	b.BuildStats.Duration = time.Since(start)
+	return b, nil
+}
+
+// builderGroup carries the running centroid sums during construction.
+type builderGroup struct {
+	sum     []float64
+	rep     []float64
+	members []ts.SubSeq
+}
+
+func (bg *builderGroup) add(vals []float64, ref ts.SubSeq) {
+	if bg.sum == nil {
+		bg.sum = make([]float64, len(vals))
+		bg.rep = make([]float64, len(vals))
+	}
+	bg.members = append(bg.members, ref)
+	inv := 1 / float64(len(bg.members))
+	for i, v := range vals {
+		bg.sum[i] += v
+		bg.rep[i] = bg.sum[i] * inv
+	}
+}
+
+// buildLength clusters every window of one length; this is the hot path of
+// base construction.
+func buildLength(d *ts.Dataset, length int, st float64, repair bool) (*LengthGroups, BuildStats) {
+	half := st * float64(length) / 2
+	var stats BuildStats
+	var groups []*builderGroup
+
+	for si, s := range d.Series {
+		if s.Len() < length {
+			continue
+		}
+		for startIdx := 0; startIdx+length <= s.Len(); startIdx++ {
+			w := s.Values[startIdx : startIdx+length]
+			stats.NumWindows++
+
+			best := -1
+			bestD := math.Inf(1)
+			for gi, g := range groups {
+				// Cheap endpoint filter before the full ED.
+				if dist.LBKim(w, g.rep) > half {
+					continue
+				}
+				ub := half
+				if bestD < ub {
+					ub = bestD
+				}
+				stats.EDComputed++
+				dd := dist.EDEarlyAbandon(w, g.rep, ub)
+				if dd <= half && dd < bestD {
+					best = gi
+					bestD = dd
+				}
+			}
+			ref := ts.SubSeq{Series: si, Start: startIdx, Length: length}
+			if best >= 0 {
+				groups[best].add(w, ref)
+			} else {
+				ng := &builderGroup{}
+				ng.add(w, ref)
+				groups = append(groups, ng)
+			}
+		}
+	}
+	if len(groups) == 0 {
+		return nil, stats
+	}
+	if repair {
+		groups = repairLength(d, groups, half, &stats)
+	}
+
+	lg := &LengthGroups{Length: length, Groups: make([]*Group, 0, len(groups))}
+	for _, bg := range groups {
+		if len(bg.members) == 0 {
+			continue
+		}
+		lg.Groups = append(lg.Groups, &Group{Length: length, Rep: bg.rep, Members: bg.members})
+	}
+	// Largest groups first: the overview pane and the query processor both
+	// prefer visiting high-cardinality groups early.
+	sort.SliceStable(lg.Groups, func(i, j int) bool {
+		return len(lg.Groups[i].Members) > len(lg.Groups[j].Members)
+	})
+	stats.NumGroups = len(lg.Groups)
+	return lg, stats
+}
+
+// repairLength freezes representatives and re-homes members that centroid
+// drift pushed beyond ST/2, guaranteeing the §3.1 invariant exactly.
+// Members that fit no frozen representative seed new singleton groups whose
+// representative is the member itself (trivially within bound).
+func repairLength(d *ts.Dataset, groups []*builderGroup, half float64, stats *BuildStats) []*builderGroup {
+	var strays []ts.SubSeq
+	for _, g := range groups {
+		kept := g.members[:0]
+		for _, m := range g.members {
+			if dist.EDEarlyAbandon(m.Values(d), g.rep, half) <= half {
+				kept = append(kept, m)
+			} else {
+				strays = append(strays, m)
+			}
+		}
+		g.members = kept
+	}
+	if len(strays) == 0 {
+		return groups
+	}
+	for _, m := range strays {
+		w := m.Values(d)
+		best := -1
+		bestD := math.Inf(1)
+		for gi, g := range groups {
+			if len(g.members) == 0 {
+				continue
+			}
+			if dist.LBKim(w, g.rep) > half {
+				continue
+			}
+			ub := half
+			if bestD < ub {
+				ub = bestD
+			}
+			stats.EDComputed++
+			dd := dist.EDEarlyAbandon(w, g.rep, ub)
+			if dd <= half && dd < bestD {
+				best = gi
+				bestD = dd
+			}
+		}
+		if best >= 0 {
+			// Frozen representative: append member without moving rep.
+			groups[best].members = append(groups[best].members, m)
+			stats.Rehomed++
+		} else {
+			rep := make([]float64, len(w))
+			copy(rep, w)
+			groups = append(groups, &builderGroup{rep: rep, members: []ts.SubSeq{m}})
+			stats.Reseeded++
+		}
+	}
+	return groups
+}
+
+// HalfST returns the group radius bound (half the absolute similarity
+// threshold) for subsequences of the given length.
+func (b *Base) HalfST(length int) float64 { return b.ST * float64(length) / 2 }
+
+// Lengths returns the lengths present in the base, ascending.
+func (b *Base) Lengths() []int {
+	out := make([]int, 0, len(b.ByLength))
+	for l := range b.ByLength {
+		out = append(out, l)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GroupsOfLength returns the groups for one length (nil when absent).
+func (b *Base) GroupsOfLength(l int) []*Group {
+	lg, ok := b.ByLength[l]
+	if !ok {
+		return nil
+	}
+	return lg.Groups
+}
+
+// NumGroups returns the total group count across lengths.
+func (b *Base) NumGroups() int {
+	n := 0
+	for _, lg := range b.ByLength {
+		n += len(lg.Groups)
+	}
+	return n
+}
+
+// NumSubsequences returns the total membership across lengths.
+func (b *Base) NumSubsequences() int {
+	n := 0
+	for _, lg := range b.ByLength {
+		for _, g := range lg.Groups {
+			n += len(g.Members)
+		}
+	}
+	return n
+}
+
+// CompactionRatio is subsequences per group: how much smaller the explored
+// set is than the raw candidate population (E3's headline number).
+func (b *Base) CompactionRatio() float64 {
+	g := b.NumGroups()
+	if g == 0 {
+		return 0
+	}
+	return float64(b.NumSubsequences()) / float64(g)
+}
+
+// Validate re-checks the construction invariants against the dataset:
+// members in range, member length equals group length, every member within
+// ST/2 of the representative, and every window of every in-range length
+// present exactly once.
+func (b *Base) Validate(d *ts.Dataset) error {
+	if got := DatasetChecksum(d); got != b.DatasetSum {
+		return fmt.Errorf("grouping: Validate: dataset checksum %x does not match base %x", got, b.DatasetSum)
+	}
+	seen := make(map[ts.SubSeq]bool)
+	for l, lg := range b.ByLength {
+		half := b.HalfST(l)
+		if l != lg.Length {
+			return fmt.Errorf("grouping: Validate: map key %d != LengthGroups.Length %d", l, lg.Length)
+		}
+		for gi, g := range lg.Groups {
+			if g.Length != l || len(g.Rep) != l {
+				return fmt.Errorf("grouping: Validate: length %d group %d has bad shape", l, gi)
+			}
+			if len(g.Members) == 0 {
+				return fmt.Errorf("grouping: Validate: length %d group %d is empty", l, gi)
+			}
+			for _, m := range g.Members {
+				if err := m.Validate(d); err != nil {
+					return fmt.Errorf("grouping: Validate: %w", err)
+				}
+				if m.Length != l {
+					return fmt.Errorf("grouping: Validate: member %v in length-%d group", m, l)
+				}
+				if seen[m] {
+					return fmt.Errorf("grouping: Validate: member %v appears twice", m)
+				}
+				seen[m] = true
+				if r := dist.ED(m.Values(d), g.Rep); r > half+1e-9 {
+					return fmt.Errorf("grouping: Validate: member %v radius %g exceeds ST/2 = %g", m, r, half)
+				}
+			}
+		}
+	}
+	// Coverage: every in-range window must be present.
+	for si, s := range d.Series {
+		for l := b.MinLength; l <= b.MaxLength && l <= s.Len(); l++ {
+			if _, ok := b.ByLength[l]; !ok {
+				return fmt.Errorf("grouping: Validate: length %d missing from base", l)
+			}
+			for startIdx := 0; startIdx+l <= s.Len(); startIdx++ {
+				if !seen[(ts.SubSeq{Series: si, Start: startIdx, Length: l})] {
+					return fmt.Errorf("grouping: Validate: window %s[%d:%d) missing", s.Name, startIdx, startIdx+l)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// DatasetChecksum computes an order-sensitive FNV-1a digest of the dataset
+// name, series names, and raw value bits; used to tie a serialized base to
+// its dataset.
+func DatasetChecksum(d *ts.Dataset) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(s[i])
+		}
+		mix(0xFF)
+	}
+	mixStr(d.Name)
+	for _, s := range d.Series {
+		mixStr(s.Name)
+		for _, v := range s.Values {
+			bits := math.Float64bits(v)
+			for k := 0; k < 8; k++ {
+				mix(byte(bits >> (8 * k)))
+			}
+		}
+	}
+	return h
+}

@@ -1,0 +1,83 @@
+package grouping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// AddSeries incrementally indexes every window of one series into an
+// existing base, without rebuilding. The series must already be present in
+// d (typically just appended); its windows join the nearest existing group
+// whose frozen representative is within the ST*l/2 radius, or seed new
+// singleton groups. Representatives never move during an insert, so the
+// §3.1 invariant is preserved exactly for old and new members alike.
+//
+// The base's dataset checksum is refreshed to d's current state, so
+// engines must be constructed (or reconstructed) after the insert.
+// AddSeries is not safe to run concurrently with queries on the same base.
+func (b *Base) AddSeries(d *ts.Dataset, si int) error {
+	if si < 0 || si >= d.Len() {
+		return fmt.Errorf("grouping: AddSeries: series index %d out of range", si)
+	}
+	s := d.Series[si]
+	// Reject double-insertion: if any window of this series is already a
+	// member, the caller is misusing the API.
+	for _, lg := range b.ByLength {
+		for _, g := range lg.Groups {
+			for _, m := range g.Members {
+				if m.Series == si {
+					return fmt.Errorf("grouping: AddSeries: series %d already indexed", si)
+				}
+			}
+		}
+	}
+	added := 0
+	for l := b.MinLength; l <= b.MaxLength && l <= s.Len(); l++ {
+		half := b.HalfST(l)
+		lg := b.ByLength[l]
+		if lg == nil {
+			lg = &LengthGroups{Length: l}
+			b.ByLength[l] = lg
+		}
+		for start := 0; start+l <= s.Len(); start++ {
+			w := s.Values[start : start+l]
+			best := -1
+			bestD := math.Inf(1)
+			for gi, g := range lg.Groups {
+				if dist.LBKim(w, g.Rep) > half {
+					continue
+				}
+				ub := half
+				if bestD < ub {
+					ub = bestD
+				}
+				dd := dist.EDEarlyAbandon(w, g.Rep, ub)
+				if dd <= half && dd < bestD {
+					best = gi
+					bestD = dd
+				}
+			}
+			ref := ts.SubSeq{Series: si, Start: start, Length: l}
+			if best >= 0 {
+				lg.Groups[best].Members = append(lg.Groups[best].Members, ref)
+			} else {
+				rep := make([]float64, l)
+				copy(rep, w)
+				lg.Groups = append(lg.Groups, &Group{Length: l, Rep: rep, Members: []ts.SubSeq{ref}})
+			}
+			added++
+		}
+		// Keep the overview ordering (largest groups first).
+		sort.SliceStable(lg.Groups, func(i, j int) bool {
+			return len(lg.Groups[i].Members) > len(lg.Groups[j].Members)
+		})
+	}
+	b.BuildStats.NumWindows += added
+	b.BuildStats.NumGroups = b.NumGroups()
+	b.DatasetSum = DatasetChecksum(d)
+	return nil
+}

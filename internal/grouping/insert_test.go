@@ -1,0 +1,111 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ts"
+)
+
+func TestAddSeriesPreservesInvariants(t *testing.T) {
+	d := testDataset(t, 5, 24, 41)
+	b, err := Build(d, Options{ST: 0.05, MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := b.NumSubsequences()
+
+	// Append a new series to the dataset, then index it.
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 24)
+	v := 0.4
+	for i := range vals {
+		v += rng.NormFloat64() * 0.03
+		vals[i] = v
+	}
+	d.MustAdd(ts.NewSeries("ZZnew", vals))
+	if err := b.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full validation: coverage (including the new series' windows),
+	// radius invariant, no duplicates, checksum.
+	if err := b.Validate(d); err != nil {
+		t.Fatalf("post-insert validation: %v", err)
+	}
+	wantNew := 0
+	for l := 4; l <= 9; l++ {
+		wantNew += 24 - l + 1
+	}
+	if got := b.NumSubsequences() - before; got != wantNew {
+		t.Fatalf("inserted %d windows, want %d", got, wantNew)
+	}
+	if b.BuildStats.NumWindows != b.NumSubsequences() {
+		t.Fatalf("stats window count %d != actual %d", b.BuildStats.NumWindows, b.NumSubsequences())
+	}
+}
+
+func TestAddSeriesRejectsDoubleInsert(t *testing.T) {
+	d := testDataset(t, 4, 20, 43)
+	b, err := Build(d, Options{ST: 0.05, MinLength: 4, MaxLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSeries(d, 0); err == nil {
+		t.Fatal("double insertion accepted")
+	}
+	if err := b.AddSeries(d, -1); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := b.AddSeries(d, 99); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+}
+
+func TestAddSeriesKeepsGroupOrdering(t *testing.T) {
+	d := testDataset(t, 5, 24, 44)
+	b, err := Build(d, Options{ST: 0.08, MinLength: 5, MaxLength: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert a near-duplicate of an existing series so existing groups
+	// grow rather than fragment.
+	clone := make([]float64, 24)
+	copy(clone, d.Series[0].Values)
+	for i := range clone {
+		clone[i] += 0.001
+	}
+	d.MustAdd(ts.NewSeries("ZZdup", clone))
+	if err := b.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatal(err)
+	}
+	gs := b.GroupsOfLength(5)
+	for i := 1; i < len(gs); i++ {
+		if gs[i].Count() > gs[i-1].Count() {
+			t.Fatal("group ordering lost after insert")
+		}
+	}
+	if err := b.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSeriesShortSeries(t *testing.T) {
+	d := testDataset(t, 3, 20, 45)
+	b, err := Build(d, Options{ST: 0.05, MinLength: 4, MaxLength: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A series shorter than MinLength contributes nothing but must not fail.
+	d.MustAdd(ts.NewSeries("tiny", []float64{1, 2, 3}))
+	before := b.NumSubsequences()
+	if err := b.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatal(err)
+	}
+	if b.NumSubsequences() != before {
+		t.Fatal("short series contributed windows")
+	}
+	if err := b.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}

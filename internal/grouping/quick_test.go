@@ -1,0 +1,127 @@
+package grouping
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ts"
+)
+
+// tinyDataset is a quick.Generator for small random datasets.
+type tinyDataset struct{ D *ts.Dataset }
+
+// Generate implements quick.Generator.
+func (tinyDataset) Generate(r *rand.Rand, size int) reflect.Value {
+	d := ts.NewDataset("quick")
+	n := 1 + r.Intn(4)
+	for i := 0; i < n; i++ {
+		l := 6 + r.Intn(14)
+		vals := make([]float64, l)
+		v := r.Float64()
+		for j := range vals {
+			v += r.NormFloat64() * 0.1
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries(string(rune('a'+i)), vals))
+	}
+	return reflect.ValueOf(tinyDataset{D: d})
+}
+
+// Any build on any dataset satisfies the full validation contract
+// (coverage, radius invariant, no duplicates).
+func TestQuickBuildAlwaysValid(t *testing.T) {
+	f := func(td tinyDataset, stRaw uint8) bool {
+		st := 0.01 + float64(stRaw%100)/250.0 // 0.01 .. 0.41 per point
+		b, err := Build(td.D, Options{ST: st, MinLength: 3, MaxLength: 6})
+		if err != nil {
+			return false
+		}
+		return b.Validate(td.D) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(139))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Serialization round-trips losslessly for arbitrary bases.
+func TestQuickSerializeRoundTrip(t *testing.T) {
+	f := func(td tinyDataset, stRaw uint8) bool {
+		st := 0.02 + float64(stRaw%50)/200.0
+		b, err := Build(td.D, Options{ST: st, MinLength: 3, MaxLength: 5})
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := b.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.NumGroups() != b.NumGroups() || back.NumSubsequences() != b.NumSubsequences() {
+			return false
+		}
+		return back.Validate(td.D) == nil
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(149))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The dataset checksum reacts to any single-value perturbation.
+func TestQuickChecksumSensitivity(t *testing.T) {
+	f := func(td tinyDataset, whichSeries, whichValue uint8, delta float64) bool {
+		if delta == 0 || delta != delta { // skip zero and NaN deltas
+			return true
+		}
+		before := DatasetChecksum(td.D)
+		si := int(whichSeries) % td.D.Len()
+		s := td.D.Series[si]
+		vi := int(whichValue) % s.Len()
+		old := s.Values[vi]
+		s.Values[vi] = old + 1 + delta*0 // guaranteed change
+		changed := DatasetChecksum(td.D)
+		s.Values[vi] = old
+		restored := DatasetChecksum(td.D)
+		return before != changed && before == restored
+	}
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(151))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Incremental insert preserves the full validation contract for arbitrary
+// appended series.
+func TestQuickAddSeriesAlwaysValid(t *testing.T) {
+	f := func(td tinyDataset, stRaw uint8, newLen uint8) bool {
+		st := 0.02 + float64(stRaw%50)/200.0
+		b, err := Build(td.D, Options{ST: st, MinLength: 3, MaxLength: 5})
+		if err != nil {
+			return false
+		}
+		l := 3 + int(newLen%12)
+		vals := make([]float64, l)
+		rng := rand.New(rand.NewSource(int64(stRaw)*31 + int64(newLen)))
+		v := rng.Float64()
+		for i := range vals {
+			v += rng.NormFloat64() * 0.1
+			vals[i] = v
+		}
+		td.D.MustAdd(ts.NewSeries("zz-new", vals))
+		if err := b.AddSeries(td.D, td.D.Len()-1); err != nil {
+			return false
+		}
+		return b.Validate(td.D) == nil
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(157))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

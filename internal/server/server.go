@@ -1,0 +1,463 @@
+// Package server exposes the ONEX engine over HTTP, reproducing the demo's
+// client-server architecture (paper §4): loading a dataset triggers server-
+// side preprocessing into the ONEX base, after which the analyst explores
+// via near-real-time JSON queries and SVG chart endpoints.
+//
+// Endpoints (all JSON unless noted):
+//
+//	GET  /                                     demo HTML page
+//	GET  /api/datasets                         loaded datasets + stats
+//	POST /api/datasets/load                    load+preprocess (see LoadRequest)
+//	GET  /api/datasets/{name}/series           series names
+//	GET  /api/datasets/{name}/series/{series}  one series' values
+//	GET  /api/datasets/{name}/overview         group summaries ?length=&k=
+//	POST /api/datasets/{name}/query/similarity similarity query (QueryRequest)
+//	POST /api/datasets/{name}/query/seasonal   seasonal query (SeasonalRequest)
+//	GET  /api/datasets/{name}/thresholds       ST recommendations
+//	GET  /viz/{name}/overview.svg              overview grid     ?length=&k=
+//	GET  /viz/{name}/match.svg                 warp chart        ?series=&start=&len=
+//	GET  /viz/{name}/radial.svg                radial chart      ?a=&b=
+//	GET  /viz/{name}/scatter.svg               connected scatter ?a=&b=
+//	GET  /viz/{name}/seasonal.svg              seasonal view     ?series=&len=
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/gen"
+	"repro/internal/ts"
+	"repro/onex"
+)
+
+// Server holds the loaded ONEX databases. Safe for concurrent use.
+type Server struct {
+	mu  sync.RWMutex
+	dbs map[string]*onex.DB
+	mux *http.ServeMux
+}
+
+// New builds an empty server.
+func New() *Server {
+	s := &Server{dbs: make(map[string]*onex.DB), mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// AddDB registers an already-opened database under a name (used by cmd
+// wiring and tests).
+func (s *Server) AddDB(name string, db *onex.DB) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.dbs[name] = db
+}
+
+func (s *Server) db(name string) (*onex.DB, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	db, ok := s.dbs[name]
+	return db, ok
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /{$}", s.handleIndex)
+	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
+	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoad)
+	s.mux.HandleFunc("GET /api/datasets/{name}/series", s.handleSeriesNames)
+	s.mux.HandleFunc("POST /api/datasets/{name}/series", s.handleAddSeries)
+	s.mux.HandleFunc("GET /api/datasets/{name}/series/{series}", s.handleSeriesValues)
+	s.mux.HandleFunc("GET /api/datasets/{name}/overview", s.handleOverview)
+	s.mux.HandleFunc("GET /api/datasets/{name}/lengths", s.handleLengths)
+	s.mux.HandleFunc("GET /api/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
+	s.mux.HandleFunc("POST /api/datasets/{name}/query/similarity", s.handleSimilarity)
+	s.mux.HandleFunc("POST /api/datasets/{name}/query/range", s.handleRange)
+	s.mux.HandleFunc("POST /api/datasets/{name}/query/seasonal", s.handleSeasonal)
+	s.mux.HandleFunc("GET /api/datasets/{name}/thresholds", s.handleThresholds)
+	s.mux.HandleFunc("GET /viz/{name}/overview.svg", s.handleVizOverview)
+	s.mux.HandleFunc("GET /viz/{name}/match.svg", s.handleVizMatch)
+	s.mux.HandleFunc("GET /viz/{name}/radial.svg", s.handleVizRadial)
+	s.mux.HandleFunc("GET /viz/{name}/scatter.svg", s.handleVizScatter)
+	s.mux.HandleFunc("GET /viz/{name}/seasonal.svg", s.handleVizSeasonal)
+	s.mux.HandleFunc("GET /viz/{name}/thresholds.svg", s.handleVizThresholds)
+	s.mux.HandleFunc("GET /explore/{name}", s.handleExplore)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeSVG(w http.ResponseWriter, svg string) {
+	w.Header().Set("Content-Type", "image/svg+xml")
+	_, _ = w.Write([]byte(svg))
+}
+
+// LoadRequest asks the server to load and preprocess a dataset.
+type LoadRequest struct {
+	// Name registers the dataset under this key.
+	Name string `json:"name"`
+	// Source selects the data: "matters:<Indicator>", "electricity",
+	// "cbf", "walks", or "file:<path>".
+	Source string `json:"source"`
+	// ST, MinLength, MaxLength, Band, Exact forward to onex.Config; zero
+	// values take the library defaults.
+	ST        float64 `json:"st,omitempty"`
+	MinLength int     `json:"min_length,omitempty"`
+	MaxLength int     `json:"max_length,omitempty"`
+	Band      int     `json:"band,omitempty"`
+	Exact     bool    `json:"exact,omitempty"`
+}
+
+// LoadResponse reports the preprocessing outcome.
+type LoadResponse struct {
+	Name  string     `json:"name"`
+	Stats onex.Stats `json:"stats"`
+	ST    float64    `json:"st"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req LoadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" || req.Source == "" {
+		writeErr(w, http.StatusBadRequest, "name and source are required")
+		return
+	}
+	ds, err := DatasetForSource(req.Source)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	db, err := onex.Open(ds, onex.Config{
+		ST:        req.ST,
+		MinLength: req.MinLength,
+		MaxLength: req.MaxLength,
+		Band:      req.Band,
+		Exact:     req.Exact,
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "preprocess: %v", err)
+		return
+	}
+	s.AddDB(req.Name, db)
+	writeJSON(w, http.StatusOK, LoadResponse{Name: req.Name, Stats: db.Stats(), ST: db.ST()})
+}
+
+// DatasetForSource resolves a load-request source specifier into a
+// dataset: "matters:<Indicator>", "electricity", "cbf", "walks", "ecg",
+// or "file:<path>". Shared by the load endpoint and cmd/onexd preloading.
+func DatasetForSource(source string) (*ts.Dataset, error) {
+	switch {
+	case strings.HasPrefix(source, "matters:"):
+		ind, ok := indicatorByName(strings.TrimPrefix(source, "matters:"))
+		if !ok {
+			return nil, fmt.Errorf("unknown indicator %q", strings.TrimPrefix(source, "matters:"))
+		}
+		return gen.Matters(gen.MattersOptions{Indicator: ind}), nil
+	case source == "electricity":
+		return gen.ElectricityLoad(gen.ElectricityOptions{Households: 3, Days: 90, SamplesPerDay: 12}), nil
+	case source == "cbf":
+		return gen.CBF(gen.CBFOptions{PerClass: 8, Length: 64}), nil
+	case source == "walks":
+		return gen.RandomWalks(gen.WalkOptions{Num: 20, Length: 64}), nil
+	case source == "ecg":
+		return gen.ECG(gen.ECGOptions{Num: 6, Beats: 16, Arrhythmic: true}), nil
+	case strings.HasPrefix(source, "file:"):
+		return onex.LoadDataset(strings.TrimPrefix(source, "file:"))
+	default:
+		return nil, fmt.Errorf("unknown source %q", source)
+	}
+}
+
+func indicatorByName(name string) (gen.Indicator, bool) {
+	for _, ind := range []gen.Indicator{
+		gen.GrowthRate, gen.UnemploymentRate, gen.TechEmployment, gen.MedianIncome, gen.TaxBurden,
+	} {
+		if ind.String() == name {
+			return ind, true
+		}
+	}
+	return 0, false
+}
+
+// DatasetInfo is one row of the dataset listing.
+type DatasetInfo struct {
+	Name  string     `json:"name"`
+	Stats onex.Stats `json:"stats"`
+	ST    float64    `json:"st"`
+}
+
+func (s *Server) handleListDatasets(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	out := make([]DatasetInfo, 0, len(names))
+	for _, n := range names {
+		db, _ := s.db(n)
+		out = append(out, DatasetInfo{Name: n, Stats: db.Stats(), ST: db.ST()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSeriesNames(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, db.SeriesNames())
+}
+
+func (s *Server) handleSeriesValues(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	vals, err := db.SeriesValues(r.PathValue("series"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": r.PathValue("series"), "values": vals})
+}
+
+func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	length := queryInt(r, "length", 0)
+	k := queryInt(r, "k", 12)
+	writeJSON(w, http.StatusOK, db.Overview(length, k))
+}
+
+// QueryRequest is a similarity query over a loaded dataset.
+type QueryRequest struct {
+	// Series/Start/Length select the query window (the demo flow), or
+	// Values supplies an ad-hoc query in original units.
+	Series string    `json:"series,omitempty"`
+	Start  int       `json:"start,omitempty"`
+	Length int       `json:"length,omitempty"`
+	Values []float64 `json:"values,omitempty"`
+	// K requests the top-K matches (default 1).
+	K int `json:"k,omitempty"`
+	// ExcludeSource excludes the whole source series rather than just the
+	// overlapping windows.
+	ExcludeSource bool `json:"exclude_source,omitempty"`
+}
+
+func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var req QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	k := req.K
+	if k <= 0 {
+		k = 1
+	}
+	var (
+		ms  []onex.Match
+		err error
+	)
+	switch {
+	case len(req.Values) > 0:
+		ms, err = db.KBestMatches(req.Values, k)
+	case req.Series != "":
+		var m onex.Match
+		if req.ExcludeSource {
+			m, err = db.BestMatchOtherSeries(req.Series, req.Start, req.Length)
+		} else {
+			m, err = db.BestMatchForSeries(req.Series, req.Start, req.Length)
+		}
+		ms = []onex.Match{m}
+	default:
+		writeErr(w, http.StatusBadRequest, "provide either values or series+start+length")
+		return
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+// SeasonalRequest is a seasonal query.
+type SeasonalRequest struct {
+	Series         string `json:"series"`
+	MinLength      int    `json:"min_length,omitempty"`
+	MaxLength      int    `json:"max_length,omitempty"`
+	MinOccurrences int    `json:"min_occurrences,omitempty"`
+}
+
+func (s *Server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var req SeasonalRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	pats, err := db.Seasonal(req.Series, req.MinLength, req.MaxLength, req.MinOccurrences)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, pats)
+}
+
+func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	recs, err := db.RecommendThresholds()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, recs)
+}
+
+// AddSeriesRequest appends one series to a loaded dataset and indexes it
+// incrementally (no rebuild).
+type AddSeriesRequest struct {
+	Series string    `json:"series"`
+	Values []float64 `json:"values"`
+}
+
+func (s *Server) handleAddSeries(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var req AddSeriesRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	// Serialize writers: incremental inserts are not query-concurrent.
+	s.mu.Lock()
+	err := db.AddSeries(req.Series, req.Values)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"series": req.Series, "stats": db.Stats()})
+}
+
+// RangeRequest is a within-threshold query.
+type RangeRequest struct {
+	Series  string    `json:"series,omitempty"`
+	Start   int       `json:"start,omitempty"`
+	Length  int       `json:"length,omitempty"`
+	Values  []float64 `json:"values,omitempty"`
+	MaxDist float64   `json:"max_dist"`
+	Limit   int       `json:"limit,omitempty"`
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var req RangeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	q := req.Values
+	if len(q) == 0 && req.Series != "" {
+		vals, err := db.SeriesValues(req.Series)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if req.Start < 0 || req.Length <= 0 || req.Start+req.Length > len(vals) {
+			writeErr(w, http.StatusBadRequest, "window [%d,%d) out of range", req.Start, req.Start+req.Length)
+			return
+		}
+		q = vals[req.Start : req.Start+req.Length]
+	}
+	if len(q) == 0 {
+		writeErr(w, http.StatusBadRequest, "provide either values or series+start+length")
+		return
+	}
+	ms, err := db.WithinThreshold(q, req.MaxDist, req.Limit)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+func (s *Server) handleGroupMembers(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	length, err1 := strconv.Atoi(r.PathValue("length"))
+	index, err2 := strconv.Atoi(r.PathValue("index"))
+	if err1 != nil || err2 != nil {
+		writeErr(w, http.StatusBadRequest, "length and index must be integers")
+		return
+	}
+	members, err := db.GroupMembers(length, index)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, members)
+}
+
+func (s *Server) handleLengths(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, db.LengthSummaries())
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	if v := r.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}

@@ -1,0 +1,332 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/onex"
+)
+
+func newTestServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New()
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(hts.Close)
+	return s, hts
+}
+
+func loadGrowth(t *testing.T, hts *httptest.Server) {
+	t.Helper()
+	body, _ := json.Marshal(LoadRequest{
+		Name:      "growth",
+		Source:    "matters:GrowthRate",
+		MinLength: 4,
+		MaxLength: 10,
+	})
+	resp, err := http.Post(hts.URL+"/api/datasets/load", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("load status = %d", resp.StatusCode)
+	}
+	var lr LoadResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Stats.Groups == 0 || lr.ST <= 0 {
+		t.Fatalf("load response incomplete: %+v", lr)
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func TestLoadAndListFlow(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+
+	var infos []DatasetInfo
+	getJSON(t, hts.URL+"/api/datasets", &infos)
+	if len(infos) != 1 || infos[0].Name != "growth" {
+		t.Fatalf("datasets = %+v", infos)
+	}
+
+	var names []string
+	getJSON(t, hts.URL+"/api/datasets/growth/series", &names)
+	if len(names) != 50 {
+		t.Fatalf("series = %d", len(names))
+	}
+
+	var sv struct {
+		Name   string    `json:"name"`
+		Values []float64 `json:"values"`
+	}
+	getJSON(t, hts.URL+"/api/datasets/growth/series/MA", &sv)
+	if sv.Name != "MA" || len(sv.Values) == 0 {
+		t.Fatalf("series values = %+v", sv)
+	}
+}
+
+func TestLoadValidation(t *testing.T) {
+	_, hts := newTestServer(t)
+	for _, body := range []string{
+		`{`, // malformed
+		`{"name":"x"}`,
+		`{"name":"x","source":"bogus"}`,
+		`{"name":"x","source":"matters:Bogus"}`,
+		`{"name":"x","source":"file:/does/not/exist.csv"}`,
+	} {
+		resp, err := http.Post(hts.URL+"/api/datasets/load", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("body %q accepted", body)
+		}
+	}
+}
+
+func TestSimilarityEndpoint(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+
+	body, _ := json.Marshal(QueryRequest{Series: "MA", Start: 0, Length: 8})
+	resp, err := http.Post(hts.URL+"/api/datasets/growth/query/similarity", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("similarity status = %d", resp.StatusCode)
+	}
+	var ms []onex.Match
+	if err := json.NewDecoder(resp.Body).Decode(&ms); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Length == 0 || len(ms[0].Path) == 0 {
+		t.Fatalf("match = %+v", ms)
+	}
+
+	// Exclude-source variant.
+	body2, _ := json.Marshal(QueryRequest{Series: "MA", Start: 0, Length: 8, ExcludeSource: true})
+	resp2, err := http.Post(hts.URL+"/api/datasets/growth/query/similarity", "application/json", bytes.NewReader(body2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var ms2 []onex.Match
+	if err := json.NewDecoder(resp2.Body).Decode(&ms2); err != nil {
+		t.Fatal(err)
+	}
+	if ms2[0].Series == "MA" {
+		t.Fatal("exclude_source ignored")
+	}
+
+	// Ad-hoc values query.
+	body3, _ := json.Marshal(QueryRequest{Values: []float64{2, 2.5, 3, 2.5, 2}, K: 3})
+	resp3, err := http.Post(hts.URL+"/api/datasets/growth/query/similarity", "application/json", bytes.NewReader(body3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var ms3 []onex.Match
+	if err := json.NewDecoder(resp3.Body).Decode(&ms3); err != nil {
+		t.Fatal(err)
+	}
+	if len(ms3) == 0 {
+		t.Fatal("values query returned nothing")
+	}
+
+	// Bad requests.
+	for _, bad := range []string{`{`, `{}`, `{"series":"ghost","length":8}`} {
+		respB, err := http.Post(hts.URL+"/api/datasets/growth/query/similarity", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		respB.Body.Close()
+		if respB.StatusCode == http.StatusOK {
+			t.Fatalf("bad body %q accepted", bad)
+		}
+	}
+}
+
+func TestSeasonalEndpoint(t *testing.T) {
+	s, hts := newTestServer(t)
+	db, err := onex.Open(gen.ElectricityLoad(gen.ElectricityOptions{
+		Households: 1, Days: 14, SamplesPerDay: 12,
+	}), onex.Config{MinLength: 12, MaxLength: 12, Band: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDB("power", db)
+
+	body, _ := json.Marshal(SeasonalRequest{Series: "household-00", MinLength: 12, MaxLength: 12})
+	resp, err := http.Post(hts.URL+"/api/datasets/power/query/seasonal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seasonal status = %d", resp.StatusCode)
+	}
+	var pats []onex.Pattern
+	if err := json.NewDecoder(resp.Body).Decode(&pats); err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) == 0 {
+		t.Fatal("no patterns from daily-cycle data")
+	}
+}
+
+func TestThresholdsEndpoint(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+	var recs []onex.Recommendation
+	getJSON(t, hts.URL+"/api/datasets/growth/thresholds", &recs)
+	if len(recs) != 3 {
+		t.Fatalf("recommendations = %d", len(recs))
+	}
+}
+
+func TestNotFoundPaths(t *testing.T) {
+	_, hts := newTestServer(t)
+	for _, path := range []string{
+		"/api/datasets/ghost/series",
+		"/api/datasets/ghost/overview",
+		"/api/datasets/ghost/thresholds",
+		"/viz/ghost/overview.svg",
+	} {
+		resp, err := http.Get(hts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s status = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestVizEndpoints(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+	urls := []string{
+		"/viz/growth/overview.svg?k=6",
+		"/viz/growth/match.svg?series=MA&start=0&len=8",
+		"/viz/growth/radial.svg?a=MA&b=CT",
+		"/viz/growth/scatter.svg?a=MA&b=CT",
+	}
+	for _, u := range urls {
+		resp, err := http.Get(hts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw := readAll(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d: %s", u, resp.StatusCode, raw)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "image/svg+xml" {
+			t.Fatalf("%s content type = %q", u, ct)
+		}
+		if !strings.HasPrefix(raw, "<svg") {
+			t.Fatalf("%s is not SVG", u)
+		}
+	}
+	// Missing params rejected.
+	for _, u := range []string{
+		"/viz/growth/match.svg",
+		"/viz/growth/radial.svg?a=MA",
+		"/viz/growth/seasonal.svg",
+	} {
+		resp, err := http.Get(hts.URL + u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Fatalf("%s accepted without params", u)
+		}
+	}
+}
+
+func TestVizSeasonalEndpoint(t *testing.T) {
+	s, hts := newTestServer(t)
+	db, err := onex.Open(gen.ElectricityLoad(gen.ElectricityOptions{
+		Households: 1, Days: 10, SamplesPerDay: 12,
+	}), onex.Config{MinLength: 12, MaxLength: 12, Band: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDB("power", db)
+	resp, err := http.Get(hts.URL + "/viz/power/seasonal.svg?series=household-00&len=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(raw, "<svg") {
+		t.Fatalf("seasonal svg: %d %s", resp.StatusCode, raw[:minInt(len(raw), 80)])
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+	resp, err := http.Get(hts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(raw, "ONEX") || !strings.Contains(raw, "growth") {
+		t.Fatal("index page missing content")
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := fmt.Fprint(&sb, mustRead(t, resp)); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func mustRead(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,77 @@
+package ts
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The loader fuzz targets assert robustness: arbitrary input must produce
+// either a valid dataset or an error — never a panic, and never a dataset
+// that fails Validate for structural reasons the loader should have caught.
+
+func FuzzLoadUCR(f *testing.F) {
+	f.Add("1 0.5 0.6 0.7\n2 1.5 1.6\n")
+	f.Add("1,2,3\n")
+	f.Add("")
+	f.Add("x y z")
+	f.Add("1 NaN")
+	f.Add("1 1e308 1e308")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := LoadUCR(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		if d.Len() == 0 {
+			t.Fatal("nil-error load returned empty dataset")
+		}
+		// Round trip what we accepted.
+		var buf bytes.Buffer
+		if err := SaveUCR(&buf, d); err != nil {
+			t.Fatalf("save of loaded dataset failed: %v", err)
+		}
+		if _, err := LoadUCR(&buf, "fuzz2"); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+func FuzzLoadCSV(f *testing.F) {
+	f.Add("name,t0,t1\nMA,1.0,2.0\n")
+	f.Add("name\n")
+	f.Add("a,b\n,1\n")
+	f.Add("name,t0\nMA,nope\n")
+	f.Add("\"unterminated")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := LoadCSV(strings.NewReader(input), "fuzz")
+		if err != nil {
+			return
+		}
+		if d.Len() == 0 {
+			t.Fatal("nil-error load returned empty dataset")
+		}
+		var buf bytes.Buffer
+		if err := SaveCSV(&buf, d); err != nil {
+			t.Fatalf("save of loaded dataset failed: %v", err)
+		}
+		if _, err := LoadCSV(&buf, "fuzz2"); err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}
+
+func FuzzLoadJSON(f *testing.F) {
+	f.Add(`{"name":"x","series":[{"name":"a","values":[1,2]}]}`)
+	f.Add(`{}`)
+	f.Add(`[`)
+	f.Add(`{"name":"x","series":[{"name":"","values":[]}]}`)
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := LoadJSON(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if d.Len() == 0 {
+			t.Fatal("nil-error load returned empty dataset")
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package ts
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadUCR reads the UCR archive text format: one series per line, fields
+// separated by whitespace or commas, where the first field is a class label
+// and the rest are the observations. Series are named name<row> and the
+// class label is stored in Meta["class"].
+func LoadUCR(r io.Reader, name string) (*Dataset, error) {
+	d := NewDataset(name)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	row := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := splitUCRFields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("ts: LoadUCR %s line %d: need a label and at least one value", name, row+1)
+		}
+		label := fields[0]
+		values := make([]float64, 0, len(fields)-1)
+		for i, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ts: LoadUCR %s line %d field %d: %w", name, row+1, i+2, err)
+			}
+			values = append(values, v)
+		}
+		s := &Series{Name: fmt.Sprintf("%s-%d", name, row), Values: values}
+		s.SetLabel("class", label)
+		if err := d.Add(s); err != nil {
+			return nil, err
+		}
+		row++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ts: LoadUCR %s: %w", name, err)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ts: LoadUCR %s: no series found", name)
+	}
+	return d, nil
+}
+
+func splitUCRFields(line string) []string {
+	if strings.ContainsRune(line, ',') {
+		parts := strings.Split(line, ",")
+		out := parts[:0]
+		for _, p := range parts {
+			p = strings.TrimSpace(p)
+			if p != "" {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	return strings.Fields(line)
+}
+
+// SaveUCR writes the dataset in the UCR text format (class label first,
+// space separated). Series without a class label get label "0".
+func SaveUCR(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range d.Series {
+		label := s.Label("class")
+		if label == "" {
+			label = "0"
+		}
+		if _, err := bw.WriteString(label); err != nil {
+			return fmt.Errorf("ts: SaveUCR: %w", err)
+		}
+		for _, v := range s.Values {
+			if _, err := fmt.Fprintf(bw, " %g", v); err != nil {
+				return fmt.Errorf("ts: SaveUCR: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("ts: SaveUCR: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCSV reads a row-oriented CSV: header row, then one series per row
+// with the series name in the first column and observations in the rest.
+// Empty trailing cells are permitted so variable-length series can share a
+// file (the MATTERS export convention: one row per state, one column per
+// year, with missing years blank).
+func LoadCSV(r io.Reader, name string) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // allow ragged rows
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("ts: LoadCSV %s: %w", name, err)
+	}
+	if len(rows) < 2 {
+		return nil, fmt.Errorf("ts: LoadCSV %s: need a header and at least one series row", name)
+	}
+	d := NewDataset(name)
+	for ri, row := range rows[1:] {
+		if len(row) == 0 {
+			continue
+		}
+		sname := strings.TrimSpace(row[0])
+		if sname == "" {
+			return nil, fmt.Errorf("ts: LoadCSV %s row %d: empty series name", name, ri+2)
+		}
+		values := make([]float64, 0, len(row)-1)
+		for ci, cell := range row[1:] {
+			cell = strings.TrimSpace(cell)
+			if cell == "" {
+				continue // ragged/missing tail
+			}
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("ts: LoadCSV %s row %d col %d: %w", name, ri+2, ci+2, err)
+			}
+			values = append(values, v)
+		}
+		if len(values) == 0 {
+			return nil, fmt.Errorf("ts: LoadCSV %s row %d (%s): no values", name, ri+2, sname)
+		}
+		if err := d.Add(&Series{Name: sname, Values: values}); err != nil {
+			return nil, err
+		}
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ts: LoadCSV %s: no series found", name)
+	}
+	return d, nil
+}
+
+// SaveCSV writes the row-oriented CSV format readable by LoadCSV. The
+// header enumerates t0..t<max-1>.
+func SaveCSV(w io.Writer, d *Dataset) error {
+	cw := csv.NewWriter(w)
+	maxLen := d.MaxLen()
+	header := make([]string, maxLen+1)
+	header[0] = "name"
+	for i := 0; i < maxLen; i++ {
+		header[i+1] = "t" + strconv.Itoa(i)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("ts: SaveCSV: %w", err)
+	}
+	for _, s := range d.Series {
+		row := make([]string, len(s.Values)+1)
+		row[0] = s.Name
+		for i, v := range s.Values {
+			row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("ts: SaveCSV: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// jsonDataset is the on-disk JSON representation.
+type jsonDataset struct {
+	Name   string       `json:"name"`
+	Series []jsonSeries `json:"series"`
+}
+
+type jsonSeries struct {
+	Name   string            `json:"name"`
+	Values []float64         `json:"values"`
+	Meta   map[string]string `json:"meta,omitempty"`
+}
+
+// LoadJSON reads the dataset JSON format produced by SaveJSON.
+func LoadJSON(r io.Reader) (*Dataset, error) {
+	var jd jsonDataset
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&jd); err != nil {
+		return nil, fmt.Errorf("ts: LoadJSON: %w", err)
+	}
+	d := NewDataset(jd.Name)
+	for _, js := range jd.Series {
+		s := &Series{Name: js.Name, Values: js.Values, Meta: js.Meta}
+		if err := d.Add(s); err != nil {
+			return nil, err
+		}
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ts: LoadJSON: dataset %q has no series", jd.Name)
+	}
+	return d, nil
+}
+
+// SaveJSON writes the dataset as indented JSON.
+func SaveJSON(w io.Writer, d *Dataset) error {
+	jd := jsonDataset{Name: d.Name, Series: make([]jsonSeries, 0, d.Len())}
+	for _, s := range d.Series {
+		jd.Series = append(jd.Series, jsonSeries{Name: s.Name, Values: s.Values, Meta: s.Meta})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(jd); err != nil {
+		return fmt.Errorf("ts: SaveJSON: %w", err)
+	}
+	return nil
+}
+
+// LoadFile dispatches on the file extension: .csv, .json, anything else is
+// treated as UCR text. The dataset name is derived from the base name.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("ts: LoadFile: %w", err)
+	}
+	defer f.Close()
+	name := baseName(path)
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		return LoadCSV(f, name)
+	case strings.HasSuffix(path, ".json"):
+		return LoadJSON(f)
+	default:
+		return LoadUCR(f, name)
+	}
+}
+
+// SaveFile writes the dataset in the format implied by the extension.
+func SaveFile(path string, d *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("ts: SaveFile: %w", err)
+	}
+	var werr error
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		werr = SaveCSV(f, d)
+	case strings.HasSuffix(path, ".json"):
+		werr = SaveJSON(f, d)
+	default:
+		werr = SaveUCR(f, d)
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	return werr
+}
+
+func baseName(path string) string {
+	base := path
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	if j := strings.LastIndex(base, "."); j > 0 {
+		base = base[:j]
+	}
+	return base
+}

@@ -1,0 +1,198 @@
+package ts
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadUCRSpaceSeparated(t *testing.T) {
+	in := "1 0.5 0.6 0.7\n2 1.5 1.6 1.7 1.8\n\n"
+	d, err := LoadUCR(strings.NewReader(in), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Series[0].Label("class") != "1" || d.Series[1].Label("class") != "2" {
+		t.Fatalf("class labels wrong: %v %v", d.Series[0].Meta, d.Series[1].Meta)
+	}
+	if d.Series[1].Len() != 4 {
+		t.Fatalf("second series len = %d", d.Series[1].Len())
+	}
+}
+
+func TestLoadUCRCommaSeparated(t *testing.T) {
+	in := "1,0.5,0.6\n-1,2.5,2.6\n"
+	d, err := LoadUCR(strings.NewReader(in), "toy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 2 || d.Series[1].Label("class") != "-1" {
+		t.Fatalf("comma UCR parse wrong: %+v", d)
+	}
+}
+
+func TestLoadUCRErrors(t *testing.T) {
+	if _, err := LoadUCR(strings.NewReader(""), "empty"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := LoadUCR(strings.NewReader("1"), "short"); err == nil {
+		t.Fatal("label-only line accepted")
+	}
+	if _, err := LoadUCR(strings.NewReader("1 abc"), "bad"); err == nil {
+		t.Fatal("non-numeric value accepted")
+	}
+}
+
+func TestUCRRoundTrip(t *testing.T) {
+	d := NewDataset("rt")
+	s := NewSeries("rt-0", []float64{1.5, 2.25, -3})
+	s.SetLabel("class", "9")
+	d.MustAdd(s)
+	d.MustAdd(NewSeries("rt-1", []float64{0, 1}))
+	var buf bytes.Buffer
+	if err := SaveUCR(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadUCR(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 2 {
+		t.Fatalf("round trip Len = %d", back.Len())
+	}
+	if back.Series[0].Label("class") != "9" {
+		t.Fatal("class label lost")
+	}
+	if back.Series[1].Label("class") != "0" {
+		t.Fatal("default class label missing")
+	}
+	for i, v := range []float64{1.5, 2.25, -3} {
+		if back.Series[0].Values[i] != v {
+			t.Fatalf("values mismatch: %v", back.Series[0].Values)
+		}
+	}
+}
+
+func TestLoadCSVRagged(t *testing.T) {
+	in := "name,t0,t1,t2\nMA,1.0,2.0,3.0\nRI,4.0,5.0,\n"
+	d, err := LoadCSV(strings.NewReader(in), "states")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := d.ByName("MA")
+	ri, _ := d.ByName("RI")
+	if ma == nil || ri == nil {
+		t.Fatalf("missing series: %+v", d.Series)
+	}
+	if ma.Len() != 3 || ri.Len() != 2 {
+		t.Fatalf("lengths = %d/%d, want 3/2", ma.Len(), ri.Len())
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := LoadCSV(strings.NewReader("name,t0\n"), "x"); err == nil {
+		t.Fatal("header-only CSV accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("name,t0\n,1.0\n"), "x"); err == nil {
+		t.Fatal("empty series name accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("name,t0\nMA,\n"), "x"); err == nil {
+		t.Fatal("valueless row accepted")
+	}
+	if _, err := LoadCSV(strings.NewReader("name,t0\nMA,xyz\n"), "x"); err == nil {
+		t.Fatal("non-numeric cell accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := NewDataset("rt")
+	d.MustAdd(NewSeries("MA", []float64{1.25, 2.5, 3}))
+	d.MustAdd(NewSeries("RI", []float64{-1, 0}))
+	var buf bytes.Buffer
+	if err := SaveCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ma, _ := back.ByName("MA")
+	if ma == nil || ma.Len() != 3 || ma.Values[0] != 1.25 {
+		t.Fatalf("CSV round trip wrong: %+v", ma)
+	}
+	ri, _ := back.ByName("RI")
+	if ri == nil || ri.Len() != 2 {
+		t.Fatalf("ragged series damaged: %+v", ri)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := NewDataset("jj")
+	s := NewSeries("a", []float64{1, 2})
+	s.SetLabel("unit", "percent")
+	d.MustAdd(s)
+	var buf bytes.Buffer
+	if err := SaveJSON(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "jj" || back.Len() != 1 {
+		t.Fatalf("JSON round trip: %+v", back)
+	}
+	if back.Series[0].Label("unit") != "percent" {
+		t.Fatal("meta lost in JSON round trip")
+	}
+}
+
+func TestLoadJSONErrors(t *testing.T) {
+	if _, err := LoadJSON(strings.NewReader("{")); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+	if _, err := LoadJSON(strings.NewReader(`{"name":"x","series":[]}`)); err == nil {
+		t.Fatal("empty series list accepted")
+	}
+}
+
+func TestLoadSaveFileDispatch(t *testing.T) {
+	dir := t.TempDir()
+	d := NewDataset("disk")
+	d.MustAdd(NewSeries("a", []float64{3, 1, 4}))
+
+	for _, ext := range []string{".csv", ".json", ".txt"} {
+		path := filepath.Join(dir, "data"+ext)
+		if err := SaveFile(path, d); err != nil {
+			t.Fatalf("SaveFile(%s): %v", ext, err)
+		}
+		back, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", ext, err)
+		}
+		if back.Len() != 1 || back.Series[0].Len() != 3 {
+			t.Fatalf("LoadFile(%s) shape wrong", ext)
+		}
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.csv")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// Name derivation drops directory and extension.
+	path := filepath.Join(dir, "growth.csv")
+	if err := SaveFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "growth" {
+		t.Fatalf("dataset name = %q, want growth", back.Name)
+	}
+	_ = os.Remove(path)
+}

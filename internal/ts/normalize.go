@@ -1,0 +1,202 @@
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NormKind identifies a normalization scheme applied to a dataset.
+type NormKind int
+
+// Supported normalization schemes.
+const (
+	// NormNone marks raw, untouched values.
+	NormNone NormKind = iota
+	// NormMinMax rescales the whole dataset linearly so that the global
+	// minimum maps to 0 and the global maximum to 1. This is the scheme the
+	// ONEX papers use before grouping: similarity thresholds ST are then
+	// expressed in dataset-independent [0,1] units.
+	NormMinMax
+	// NormZScore centers each series on its own mean and divides by its own
+	// standard deviation. This is the per-window convention of the UCR Suite
+	// baseline; at the dataset level it is applied per series.
+	NormZScore
+)
+
+// String implements fmt.Stringer.
+func (k NormKind) String() string {
+	switch k {
+	case NormNone:
+		return "none"
+	case NormMinMax:
+		return "minmax"
+	case NormZScore:
+		return "zscore"
+	default:
+		return fmt.Sprintf("NormKind(%d)", int(k))
+	}
+}
+
+// NormInfo records how a dataset's values were normalized so the
+// transformation can be inverted for display.
+type NormInfo struct {
+	Kind NormKind
+	// Min and Max hold the pre-normalization global extrema for NormMinMax.
+	Min, Max float64
+	// PerSeries holds per-series (mean, std) pairs for NormZScore, indexed
+	// like Dataset.Series.
+	PerSeries []MeanStd
+}
+
+// MeanStd is a (mean, standard deviation) pair for one series.
+type MeanStd struct{ Mean, Std float64 }
+
+// ErrAlreadyNormalized is returned when a normalization is requested on a
+// dataset that has already been normalized.
+var ErrAlreadyNormalized = errors.New("ts: dataset already normalized")
+
+// NormalizeMinMax rescales every value of d into [0,1] using the global
+// dataset extrema, recording the inverse transform in d.Norm. A dataset
+// whose values are all identical maps to all zeros (range collapses).
+func NormalizeMinMax(d *Dataset) error {
+	if d.Norm.Kind != NormNone {
+		return ErrAlreadyNormalized
+	}
+	st := DatasetStats(d)
+	if st.N == 0 {
+		return fmt.Errorf("ts: NormalizeMinMax: dataset %q is empty", d.Name)
+	}
+	span := st.Range()
+	for _, s := range d.Series {
+		for i, v := range s.Values {
+			if span == 0 {
+				s.Values[i] = 0
+			} else {
+				s.Values[i] = (v - st.Min) / span
+			}
+		}
+	}
+	d.Norm = NormInfo{Kind: NormMinMax, Min: st.Min, Max: st.Max}
+	return nil
+}
+
+// NormalizeZScore z-normalizes each series independently (x-mean)/std and
+// records the inverse transform. A constant series maps to all zeros.
+func NormalizeZScore(d *Dataset) error {
+	if d.Norm.Kind != NormNone {
+		return ErrAlreadyNormalized
+	}
+	if d.Len() == 0 {
+		return fmt.Errorf("ts: NormalizeZScore: dataset %q is empty", d.Name)
+	}
+	per := make([]MeanStd, d.Len())
+	for si, s := range d.Series {
+		st := Summarize(s.Values)
+		per[si] = MeanStd{Mean: st.Mean, Std: st.Std}
+		for i, v := range s.Values {
+			if st.Std == 0 {
+				s.Values[i] = 0
+			} else {
+				s.Values[i] = (v - st.Mean) / st.Std
+			}
+		}
+	}
+	d.Norm = NormInfo{Kind: NormZScore, PerSeries: per}
+	return nil
+}
+
+// Denormalize inverts the recorded normalization in place, restoring the
+// original units (up to floating-point rounding).
+func Denormalize(d *Dataset) error {
+	switch d.Norm.Kind {
+	case NormNone:
+		return nil
+	case NormMinMax:
+		span := d.Norm.Max - d.Norm.Min
+		for _, s := range d.Series {
+			for i, v := range s.Values {
+				s.Values[i] = d.Norm.Min + v*span
+			}
+		}
+	case NormZScore:
+		if len(d.Norm.PerSeries) != d.Len() {
+			return fmt.Errorf("ts: Denormalize: norm info for %d series, dataset has %d",
+				len(d.Norm.PerSeries), d.Len())
+		}
+		for si, s := range d.Series {
+			ms := d.Norm.PerSeries[si]
+			for i, v := range s.Values {
+				s.Values[i] = ms.Mean + v*ms.Std
+			}
+		}
+	default:
+		return fmt.Errorf("ts: Denormalize: unknown normalization %v", d.Norm.Kind)
+	}
+	d.Norm = NormInfo{}
+	return nil
+}
+
+// DenormalizeValues maps a slice of normalized values (e.g. a query result
+// in a min-max normalized dataset) back to original units without touching
+// the dataset. The seriesIdx is only consulted for per-series schemes.
+func DenormalizeValues(d *Dataset, seriesIdx int, values []float64) ([]float64, error) {
+	out := make([]float64, len(values))
+	switch d.Norm.Kind {
+	case NormNone:
+		copy(out, values)
+	case NormMinMax:
+		span := d.Norm.Max - d.Norm.Min
+		for i, v := range values {
+			out[i] = d.Norm.Min + v*span
+		}
+	case NormZScore:
+		if seriesIdx < 0 || seriesIdx >= len(d.Norm.PerSeries) {
+			return nil, fmt.Errorf("ts: DenormalizeValues: series %d has no norm info", seriesIdx)
+		}
+		ms := d.Norm.PerSeries[seriesIdx]
+		for i, v := range values {
+			out[i] = ms.Mean + v*ms.Std
+		}
+	default:
+		return nil, fmt.Errorf("ts: DenormalizeValues: unknown normalization %v", d.Norm.Kind)
+	}
+	return out, nil
+}
+
+// ZNormalizeWindow z-normalizes a window into dst (allocating when dst is
+// short) and returns it. It is the per-candidate transform used by the UCR
+// Suite baseline; a constant window yields zeros.
+func ZNormalizeWindow(window []float64, dst []float64) []float64 {
+	if cap(dst) < len(window) {
+		dst = make([]float64, len(window))
+	}
+	dst = dst[:len(window)]
+	st := Summarize(window)
+	if st.Std == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst
+	}
+	for i, v := range window {
+		dst[i] = (v - st.Mean) / st.Std
+	}
+	return dst
+}
+
+// MinMaxScale linearly rescales values so min->0 and max->1 using the
+// slice's own extrema; used for presentation-layer scaling. A constant
+// slice maps to zeros.
+func MinMaxScale(values []float64) []float64 {
+	out := make([]float64, len(values))
+	st := Summarize(values)
+	span := st.Range()
+	if span == 0 || math.IsNaN(span) {
+		return out
+	}
+	for i, v := range values {
+		out[i] = (v - st.Min) / span
+	}
+	return out
+}

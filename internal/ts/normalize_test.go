@@ -1,0 +1,250 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}
+
+func TestNormalizeMinMaxBoundsAndRoundTrip(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{
+		"a": {-5, 0, 5, 15},
+		"b": {2, 3},
+	})
+	orig := d.Clone()
+	if err := NormalizeMinMax(d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Norm.Kind != NormMinMax || d.Norm.Min != -5 || d.Norm.Max != 15 {
+		t.Fatalf("norm info = %+v", d.Norm)
+	}
+	for _, s := range d.Series {
+		for _, v := range s.Values {
+			if v < 0 || v > 1 {
+				t.Fatalf("value %g outside [0,1]", v)
+			}
+		}
+	}
+	// Extremes map to 0 and 1.
+	if d.Series[0].Values[0] != 0 || d.Series[0].Values[3] != 1 {
+		t.Fatalf("extremes wrong: %v", d.Series[0].Values)
+	}
+	if err := Denormalize(d); err != nil {
+		t.Fatal(err)
+	}
+	for si := range d.Series {
+		for i := range d.Series[si].Values {
+			if !almostEqual(d.Series[si].Values[i], orig.Series[si].Values[i], 1e-9) {
+				t.Fatalf("round trip mismatch at %d/%d: %g vs %g",
+					si, i, d.Series[si].Values[i], orig.Series[si].Values[i])
+			}
+		}
+	}
+	if d.Norm.Kind != NormNone {
+		t.Fatal("Denormalize did not clear norm info")
+	}
+}
+
+func TestNormalizeMinMaxConstantDataset(t *testing.T) {
+	d := mustDataset(t, "const", map[string][]float64{"a": {7, 7, 7}})
+	if err := NormalizeMinMax(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Series[0].Values {
+		if v != 0 {
+			t.Fatalf("constant dataset should map to zeros, got %v", d.Series[0].Values)
+		}
+	}
+}
+
+func TestNormalizeRejectsDouble(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{"a": {1, 2}})
+	if err := NormalizeMinMax(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := NormalizeMinMax(d); err != ErrAlreadyNormalized {
+		t.Fatalf("double normalize: err = %v", err)
+	}
+	if err := NormalizeZScore(d); err != ErrAlreadyNormalized {
+		t.Fatalf("mixed normalize: err = %v", err)
+	}
+}
+
+func TestNormalizeZScoreAndRoundTrip(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{
+		"a": {1, 2, 3, 4, 5},
+		"b": {100, 100, 100},
+	})
+	orig := d.Clone()
+	if err := NormalizeZScore(d); err != nil {
+		t.Fatal(err)
+	}
+	sa := Summarize(d.Series[0].Values)
+	if !almostEqual(sa.Mean, 0, 1e-12) || !almostEqual(sa.Std, 1, 1e-12) {
+		t.Fatalf("z-norm series a: mean=%g std=%g", sa.Mean, sa.Std)
+	}
+	for _, v := range d.Series[1].Values {
+		if v != 0 {
+			t.Fatal("constant series should z-map to zeros")
+		}
+	}
+	if err := Denormalize(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Series[0].Values {
+		if !almostEqual(v, orig.Series[0].Values[i], 1e-9) {
+			t.Fatalf("z round trip mismatch: %g vs %g", v, orig.Series[0].Values[i])
+		}
+	}
+}
+
+func TestDenormalizeValues(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{"a": {0, 10, 20}})
+	if err := NormalizeMinMax(d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DenormalizeValues(d, 0, []float64{0, 0.5, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 10, 20}
+	for i := range want {
+		if !almostEqual(back[i], want[i], 1e-9) {
+			t.Fatalf("DenormalizeValues = %v, want %v", back, want)
+		}
+	}
+}
+
+func TestZNormalizeWindow(t *testing.T) {
+	w := []float64{2, 4, 6}
+	out := ZNormalizeWindow(w, nil)
+	st := Summarize(out)
+	if !almostEqual(st.Mean, 0, 1e-12) || !almostEqual(st.Std, 1, 1e-12) {
+		t.Fatalf("ZNormalizeWindow mean=%g std=%g", st.Mean, st.Std)
+	}
+	// Reuses dst when capacity suffices.
+	dst := make([]float64, 0, 8)
+	out2 := ZNormalizeWindow(w, dst)
+	if cap(out2) != 8 {
+		t.Fatal("ZNormalizeWindow reallocated despite sufficient capacity")
+	}
+	// Constant window -> zeros, no NaN.
+	for _, v := range ZNormalizeWindow([]float64{3, 3, 3}, nil) {
+		if v != 0 {
+			t.Fatal("constant window should z-map to zeros")
+		}
+	}
+}
+
+// Property: min-max normalization always lands in [0,1] and round-trips.
+func TestQuickMinMaxRoundTrip(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			// Clamp quick's wild doubles into a sane, finite range.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			vals[i] = math.Mod(v, 1e6)
+		}
+		d := NewDataset("q")
+		d.MustAdd(NewSeries("s", vals))
+		if err := NormalizeMinMax(d); err != nil {
+			return false
+		}
+		for _, v := range d.Series[0].Values {
+			if v < -1e-12 || v > 1+1e-12 {
+				return false
+			}
+		}
+		if err := Denormalize(d); err != nil {
+			return false
+		}
+		span := 0.0
+		for _, v := range vals {
+			if a := math.Abs(v); a > span {
+				span = a
+			}
+		}
+		tol := 1e-9 * (1 + span)
+		for i, v := range d.Series[0].Values {
+			if !almostEqual(v, vals[i], tol) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	st := Summarize([]float64{1, 2, 3, 4})
+	if st.N != 4 || st.Min != 1 || st.Max != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if !almostEqual(st.Mean, 2.5, 1e-12) {
+		t.Fatalf("mean = %g", st.Mean)
+	}
+	if !almostEqual(st.Std, math.Sqrt(1.25), 1e-12) {
+		t.Fatalf("std = %g", st.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty Summarize should be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{4, 1, 3, 2}
+	if q := Quantile(vals, 0); q != 1 {
+		t.Fatalf("q0 = %g", q)
+	}
+	if q := Quantile(vals, 1); q != 4 {
+		t.Fatalf("q1 = %g", q)
+	}
+	if q := Quantile(vals, 0.5); !almostEqual(q, 2.5, 1e-12) {
+		t.Fatalf("median = %g", q)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile should be NaN")
+	}
+	qs := QuantilesSorted(vals, []float64{0, 0.5, 1})
+	if qs[0] != 1 || !almostEqual(qs[1], 2.5, 1e-12) || qs[2] != 4 {
+		t.Fatalf("QuantilesSorted = %v", qs)
+	}
+	// Input untouched.
+	if vals[0] != 4 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("Mean(nil) should be NaN")
+	}
+	if m := Mean([]float64{2, 4}); m != 3 {
+		t.Fatalf("Mean = %g", m)
+	}
+}
+
+func TestMinMaxScale(t *testing.T) {
+	out := MinMaxScale([]float64{10, 20, 30})
+	if out[0] != 0 || out[2] != 1 || !almostEqual(out[1], 0.5, 1e-12) {
+		t.Fatalf("MinMaxScale = %v", out)
+	}
+	for _, v := range MinMaxScale([]float64{5, 5}) {
+		if v != 0 {
+			t.Fatal("constant MinMaxScale should be zeros")
+		}
+	}
+}

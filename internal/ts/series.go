@@ -1,0 +1,283 @@
+// Package ts provides the time-series substrate for the ONEX reproduction:
+// series and dataset types, subsequence references, loaders and writers for
+// common on-disk formats, normalization, and summary statistics.
+//
+// A Dataset is an ordered collection of named, variable-length series. All
+// higher layers (grouping, query processing, baselines) address raw data
+// through this package, usually via SubSeq references so that no subsequence
+// values are ever copied during index construction.
+package ts
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Series is a single named time series. Values are stored in temporal order
+// with a uniform (but unspecified) sampling period. Meta carries free-form
+// annotations such as the unit, source, or class label.
+type Series struct {
+	Name   string
+	Values []float64
+	Meta   map[string]string
+}
+
+// NewSeries builds a Series over a defensive copy of values.
+func NewSeries(name string, values []float64) *Series {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Series{Name: name, Values: v}
+}
+
+// Len returns the number of observations in the series.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Label returns the Meta value for key, or "" when absent.
+func (s *Series) Label(key string) string {
+	if s.Meta == nil {
+		return ""
+	}
+	return s.Meta[key]
+}
+
+// SetLabel sets a Meta annotation, allocating the map on first use.
+func (s *Series) SetLabel(key, value string) {
+	if s.Meta == nil {
+		s.Meta = make(map[string]string)
+	}
+	s.Meta[key] = value
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	c := NewSeries(s.Name, s.Values)
+	if s.Meta != nil {
+		c.Meta = make(map[string]string, len(s.Meta))
+		for k, v := range s.Meta {
+			c.Meta[k] = v
+		}
+	}
+	return c
+}
+
+// Slice returns the value window [start, start+length) without copying.
+// It panics when the window is out of range; use SubSeq.Validate for a
+// checked variant.
+func (s *Series) Slice(start, length int) []float64 {
+	return s.Values[start : start+length]
+}
+
+// Dataset is an ordered collection of series plus bookkeeping about the
+// normalization that has been applied to it. The zero value is an empty,
+// unnamed, unnormalized dataset ready for Add.
+type Dataset struct {
+	Name   string
+	Series []*Series
+
+	// Norm records the normalization applied to Values, if any.
+	Norm NormInfo
+
+	byName map[string]int
+}
+
+// NewDataset creates an empty dataset with the given name.
+func NewDataset(name string) *Dataset {
+	return &Dataset{Name: name}
+}
+
+// Add appends a series. Adding a second series with a duplicate name is an
+// error: downstream panes and APIs address series by name.
+func (d *Dataset) Add(s *Series) error {
+	if s == nil {
+		return errors.New("ts: Add: nil series")
+	}
+	if s.Name == "" {
+		return errors.New("ts: Add: series must be named")
+	}
+	if _, dup := d.index()[s.Name]; dup {
+		return fmt.Errorf("ts: Add: duplicate series name %q", s.Name)
+	}
+	d.Series = append(d.Series, s)
+	d.byName[s.Name] = len(d.Series) - 1
+	return nil
+}
+
+// MustAdd is Add for construction paths where a duplicate name is a bug.
+func (d *Dataset) MustAdd(s *Series) {
+	if err := d.Add(s); err != nil {
+		panic(err)
+	}
+}
+
+func (d *Dataset) index() map[string]int {
+	if d.byName == nil {
+		d.byName = make(map[string]int, len(d.Series))
+		for i, s := range d.Series {
+			d.byName[s.Name] = i
+		}
+	}
+	return d.byName
+}
+
+// Len returns the number of series in the dataset.
+func (d *Dataset) Len() int { return len(d.Series) }
+
+// At returns the i-th series.
+func (d *Dataset) At(i int) *Series { return d.Series[i] }
+
+// ByName returns the series with the given name.
+func (d *Dataset) ByName(name string) (*Series, bool) {
+	i, ok := d.index()[name]
+	if !ok {
+		return nil, false
+	}
+	return d.Series[i], true
+}
+
+// IndexOf returns the position of the named series, or -1.
+func (d *Dataset) IndexOf(name string) int {
+	if i, ok := d.index()[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// TotalValues returns the number of observations across all series.
+func (d *Dataset) TotalValues() int {
+	n := 0
+	for _, s := range d.Series {
+		n += len(s.Values)
+	}
+	return n
+}
+
+// MinLen and MaxLen return the extreme series lengths; both return 0 for an
+// empty dataset.
+func (d *Dataset) MinLen() int {
+	if len(d.Series) == 0 {
+		return 0
+	}
+	m := math.MaxInt
+	for _, s := range d.Series {
+		if s.Len() < m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// MaxLen returns the length of the longest series, or 0 when empty.
+func (d *Dataset) MaxLen() int {
+	m := 0
+	for _, s := range d.Series {
+		if s.Len() > m {
+			m = s.Len()
+		}
+	}
+	return m
+}
+
+// NumSubsequences returns the number of distinct subsequence windows of
+// length within [minLen, maxLen] over all series. This is the candidate
+// population the ONEX base compacts.
+func (d *Dataset) NumSubsequences(minLen, maxLen int) int {
+	if minLen < 1 {
+		minLen = 1
+	}
+	total := 0
+	for _, s := range d.Series {
+		hi := maxLen
+		if hi > s.Len() {
+			hi = s.Len()
+		}
+		for l := minLen; l <= hi; l++ {
+			total += s.Len() - l + 1
+		}
+	}
+	return total
+}
+
+// Clone returns a deep copy of the dataset (series values and meta included).
+func (d *Dataset) Clone() *Dataset {
+	c := NewDataset(d.Name)
+	c.Norm = d.Norm
+	for _, s := range d.Series {
+		c.MustAdd(s.Clone())
+	}
+	return c
+}
+
+// Validate checks structural health: named series, finite values, non-empty.
+func (d *Dataset) Validate() error {
+	if len(d.Series) == 0 {
+		return fmt.Errorf("ts: dataset %q has no series", d.Name)
+	}
+	for i, s := range d.Series {
+		if s.Name == "" {
+			return fmt.Errorf("ts: dataset %q: series %d unnamed", d.Name, i)
+		}
+		if len(s.Values) == 0 {
+			return fmt.Errorf("ts: dataset %q: series %q empty", d.Name, s.Name)
+		}
+		for j, v := range s.Values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ts: dataset %q: series %q value %d is not finite", d.Name, s.Name, j)
+			}
+		}
+	}
+	return nil
+}
+
+// SubSeq identifies the window [Start, Start+Length) of series Series in
+// some dataset. It is a value type: cheap to copy, usable as a map key.
+type SubSeq struct {
+	Series int
+	Start  int
+	Length int
+}
+
+// Values resolves the reference against d without copying.
+func (r SubSeq) Values(d *Dataset) []float64 {
+	return d.Series[r.Series].Values[r.Start : r.Start+r.Length]
+}
+
+// End returns the exclusive end offset of the window.
+func (r SubSeq) End() int { return r.Start + r.Length }
+
+// Overlaps reports whether two references into the same series share any
+// sample. References to different series never overlap.
+func (r SubSeq) Overlaps(o SubSeq) bool {
+	if r.Series != o.Series {
+		return false
+	}
+	return r.Start < o.End() && o.Start < r.End()
+}
+
+// Validate checks the reference against the dataset bounds.
+func (r SubSeq) Validate(d *Dataset) error {
+	if r.Series < 0 || r.Series >= len(d.Series) {
+		return fmt.Errorf("ts: subseq series index %d out of range [0,%d)", r.Series, len(d.Series))
+	}
+	if r.Length <= 0 {
+		return fmt.Errorf("ts: subseq length %d must be positive", r.Length)
+	}
+	if r.Start < 0 || r.End() > d.Series[r.Series].Len() {
+		return fmt.Errorf("ts: subseq [%d,%d) out of range for series %q of length %d",
+			r.Start, r.End(), d.Series[r.Series].Name, d.Series[r.Series].Len())
+	}
+	return nil
+}
+
+// String renders the reference as name[start:end] when resolvable.
+func (r SubSeq) String() string {
+	return fmt.Sprintf("series %d [%d:%d)", r.Series, r.Start, r.End())
+}
+
+// Describe renders the reference with the series name from d.
+func (r SubSeq) Describe(d *Dataset) string {
+	if r.Series < 0 || r.Series >= len(d.Series) {
+		return r.String()
+	}
+	return fmt.Sprintf("%s[%d:%d)", d.Series[r.Series].Name, r.Start, r.End())
+}

@@ -1,0 +1,209 @@
+package ts
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustDataset(t *testing.T, name string, series map[string][]float64) *Dataset {
+	t.Helper()
+	d := NewDataset(name)
+	// Deterministic order: sort keys.
+	keys := make([]string, 0, len(series))
+	for k := range series {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		if err := d.Add(NewSeries(k, series[k])); err != nil {
+			t.Fatalf("Add(%q): %v", k, err)
+		}
+	}
+	return d
+}
+
+func TestDatasetAddAndLookup(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{
+		"a": {1, 2, 3},
+		"b": {4, 5},
+	})
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	s, ok := d.ByName("a")
+	if !ok || s.Len() != 3 {
+		t.Fatalf("ByName(a) = %v ok=%v", s, ok)
+	}
+	if _, ok := d.ByName("zz"); ok {
+		t.Fatal("ByName(zz) found a ghost series")
+	}
+	if got := d.IndexOf("b"); got != 1 {
+		t.Fatalf("IndexOf(b) = %d, want 1", got)
+	}
+	if got := d.IndexOf("zz"); got != -1 {
+		t.Fatalf("IndexOf(zz) = %d, want -1", got)
+	}
+}
+
+func TestDatasetAddRejectsDuplicatesAndNil(t *testing.T) {
+	d := NewDataset("demo")
+	if err := d.Add(NewSeries("a", []float64{1})); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add(NewSeries("a", []float64{2})); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := d.Add(nil); err == nil {
+		t.Fatal("nil series accepted")
+	}
+	if err := d.Add(&Series{Values: []float64{1}}); err == nil {
+		t.Fatal("unnamed series accepted")
+	}
+}
+
+func TestNewSeriesCopies(t *testing.T) {
+	src := []float64{1, 2, 3}
+	s := NewSeries("x", src)
+	src[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatalf("NewSeries aliased caller slice: %v", s.Values)
+	}
+}
+
+func TestSeriesLabels(t *testing.T) {
+	s := NewSeries("x", []float64{1})
+	if got := s.Label("class"); got != "" {
+		t.Fatalf("Label on empty meta = %q", got)
+	}
+	s.SetLabel("class", "7")
+	if got := s.Label("class"); got != "7" {
+		t.Fatalf("Label = %q, want 7", got)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{"a": {1, 2}})
+	d.Series[0].SetLabel("k", "v")
+	c := d.Clone()
+	c.Series[0].Values[0] = 42
+	c.Series[0].SetLabel("k", "other")
+	if d.Series[0].Values[0] != 1 {
+		t.Fatal("Clone shares values")
+	}
+	if d.Series[0].Label("k") != "v" {
+		t.Fatal("Clone shares meta")
+	}
+}
+
+func TestMinMaxLenAndTotals(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{
+		"a": {1, 2, 3, 4},
+		"b": {1, 2},
+	})
+	if d.MinLen() != 2 || d.MaxLen() != 4 {
+		t.Fatalf("MinLen/MaxLen = %d/%d, want 2/4", d.MinLen(), d.MaxLen())
+	}
+	if d.TotalValues() != 6 {
+		t.Fatalf("TotalValues = %d, want 6", d.TotalValues())
+	}
+	empty := NewDataset("e")
+	if empty.MinLen() != 0 || empty.MaxLen() != 0 {
+		t.Fatal("empty dataset extremes should be 0")
+	}
+}
+
+func TestNumSubsequences(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{
+		"a": {1, 2, 3, 4}, // len 4
+		"b": {1, 2},       // len 2
+	})
+	// lengths 2..3: a contributes (4-2+1)+(4-3+1)=3+2=5, b contributes (2-2+1)=1
+	if got := d.NumSubsequences(2, 3); got != 6 {
+		t.Fatalf("NumSubsequences(2,3) = %d, want 6", got)
+	}
+	// minLen clamps to 1.
+	if got := d.NumSubsequences(0, 1); got != 6 {
+		t.Fatalf("NumSubsequences(0,1) = %d, want 6 (4+2 windows of len 1)", got)
+	}
+}
+
+func TestSubSeq(t *testing.T) {
+	d := mustDataset(t, "demo", map[string][]float64{"a": {10, 20, 30, 40}})
+	r := SubSeq{Series: 0, Start: 1, Length: 2}
+	if err := r.Validate(d); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Values(d)
+	if len(got) != 2 || got[0] != 20 || got[1] != 30 {
+		t.Fatalf("Values = %v", got)
+	}
+	if r.End() != 3 {
+		t.Fatalf("End = %d", r.End())
+	}
+	if !strings.Contains(r.Describe(d), "a[1:3)") {
+		t.Fatalf("Describe = %q", r.Describe(d))
+	}
+	for _, bad := range []SubSeq{
+		{Series: -1, Start: 0, Length: 1},
+		{Series: 1, Start: 0, Length: 1},
+		{Series: 0, Start: 3, Length: 2},
+		{Series: 0, Start: 0, Length: 0},
+		{Series: 0, Start: -1, Length: 2},
+	} {
+		if err := bad.Validate(d); err == nil {
+			t.Fatalf("Validate(%+v) accepted invalid ref", bad)
+		}
+	}
+}
+
+func TestSubSeqOverlaps(t *testing.T) {
+	a := SubSeq{Series: 0, Start: 0, Length: 4}
+	cases := []struct {
+		b    SubSeq
+		want bool
+	}{
+		{SubSeq{Series: 0, Start: 3, Length: 2}, true},
+		{SubSeq{Series: 0, Start: 4, Length: 2}, false},
+		{SubSeq{Series: 1, Start: 0, Length: 4}, false},
+		{SubSeq{Series: 0, Start: 0, Length: 1}, true},
+	}
+	for _, c := range cases {
+		if got := a.Overlaps(c.b); got != c.want {
+			t.Errorf("Overlaps(%+v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(a); got != c.want {
+			t.Errorf("Overlaps not symmetric for %+v", c.b)
+		}
+	}
+}
+
+func TestValidateDataset(t *testing.T) {
+	if err := NewDataset("empty").Validate(); err == nil {
+		t.Fatal("empty dataset validated")
+	}
+	d := NewDataset("demo")
+	d.Series = append(d.Series, &Series{Name: "", Values: []float64{1}})
+	if err := d.Validate(); err == nil {
+		t.Fatal("unnamed series validated")
+	}
+	d2 := NewDataset("demo2")
+	d2.MustAdd(NewSeries("a", []float64{1, 2}))
+	if err := d2.Validate(); err != nil {
+		t.Fatalf("healthy dataset rejected: %v", err)
+	}
+	d2.Series[0].Values[1] = nan()
+	if err := d2.Validate(); err == nil {
+		t.Fatal("NaN value validated")
+	}
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

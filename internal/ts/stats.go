@@ -1,0 +1,136 @@
+package ts
+
+import (
+	"math"
+	"sort"
+)
+
+// Stats summarizes a block of observations.
+type Stats struct {
+	N          int
+	Min, Max   float64
+	Mean       float64
+	Std        float64 // population standard deviation
+	Sum        float64
+	SumSquares float64
+}
+
+// Summarize computes summary statistics over values. For an empty slice it
+// returns the zero Stats (N == 0).
+func Summarize(values []float64) Stats {
+	if len(values) == 0 {
+		return Stats{}
+	}
+	st := Stats{
+		N:   len(values),
+		Min: values[0],
+		Max: values[0],
+	}
+	for _, v := range values {
+		st.Sum += v
+		st.SumSquares += v * v
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+	}
+	st.Mean = st.Sum / float64(st.N)
+	variance := st.SumSquares/float64(st.N) - st.Mean*st.Mean
+	if variance < 0 {
+		variance = 0 // guard the floating-point cancellation case
+	}
+	st.Std = math.Sqrt(variance)
+	return st
+}
+
+// Range returns Max - Min, the span used by min-max normalization.
+func (s Stats) Range() float64 { return s.Max - s.Min }
+
+// DatasetStats aggregates statistics over every value in the dataset.
+func DatasetStats(d *Dataset) Stats {
+	agg := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, s := range d.Series {
+		for _, v := range s.Values {
+			agg.N++
+			agg.Sum += v
+			agg.SumSquares += v * v
+			if v < agg.Min {
+				agg.Min = v
+			}
+			if v > agg.Max {
+				agg.Max = v
+			}
+		}
+	}
+	if agg.N == 0 {
+		return Stats{}
+	}
+	agg.Mean = agg.Sum / float64(agg.N)
+	variance := agg.SumSquares/float64(agg.N) - agg.Mean*agg.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	agg.Std = math.Sqrt(variance)
+	return agg
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of values using linear
+// interpolation between closest ranks. The input is not modified.
+func Quantile(values []float64, q float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// QuantilesSorted computes several quantiles over one shared sort.
+func QuantilesSorted(values []float64, qs []float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(values) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean, or NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}

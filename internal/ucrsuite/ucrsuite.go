@@ -1,0 +1,245 @@
+// Package ucrsuite implements a UCR-Suite-style exact subsequence search
+// under DTW (Rakthanmanon et al., KDD 2012 — reference [6] of the demo
+// paper, the "fastest known method" ONEX is compared against).
+//
+// The search slides a window of the query's length over every series and
+// applies the suite's cascade of increasingly expensive filters, each
+// pruned against the best-so-far distance:
+//
+//	LB_Kim (endpoints)  ->  LB_Keogh(query envelope vs window)
+//	  ->  LB_Keogh(window envelope vs query)  ->  early-abandoning DTW
+//
+// Two conventions are supported to serve both comparison targets:
+//
+//   - Raw mode (ZNormalize=false, L1 cost): candidates are compared in the
+//     dataset's units, exactly like the ONEX engine, so E1 measures the
+//     same ranking problem across systems.
+//   - UCR mode (ZNormalize=true, squared cost): per-window z-normalization
+//     as in the original suite.
+//
+// The window envelope uses the standard streaming trick: the envelope of
+// the full series, sliced to the window, contains the window's own
+// envelope, so the resulting bound is slightly weaker but still valid and
+// costs O(1) per window after one O(n) pass per series.
+package ucrsuite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+// Options configures a search.
+type Options struct {
+	// Band is the Sakoe-Chiba width for DTW and envelopes (negative =
+	// unconstrained).
+	Band int
+	// ZNormalize applies per-window z-normalization (UCR convention).
+	ZNormalize bool
+	// Squared uses the squared point cost (UCR convention); false uses L1
+	// to match the ONEX engine's distance.
+	Squared bool
+	// ExcludeSeries skips candidate series indices.
+	ExcludeSeries map[int]bool
+	// ExcludeOverlap skips candidates overlapping this window.
+	ExcludeOverlap ts.SubSeq
+}
+
+// Stats counts cascade activity for one search; E1 reports prune rates.
+type Stats struct {
+	Windows      int // candidate windows enumerated
+	PrunedKim    int // dropped by LB_Kim
+	PrunedKeoghQ int // dropped by LB_Keogh(query env)
+	PrunedKeoghC int // dropped by LB_Keogh(candidate env)
+	DTWComputed  int // full DTW evaluations started
+	DTWAbandoned int // of those, abandoned early
+}
+
+// Result is the best window found plus search statistics.
+type Result struct {
+	Ref   ts.SubSeq
+	Dist  float64
+	Stats Stats
+}
+
+// ErrNoCandidates is returned when no window fits the constraints.
+var ErrNoCandidates = errors.New("ucrsuite: no candidate windows")
+
+// BestMatch returns the exact DTW-closest window of length len(q).
+func BestMatch(d *ts.Dataset, q []float64, opts Options) (Result, error) {
+	m := len(q)
+	if m < 2 {
+		return Result{}, fmt.Errorf("ucrsuite: query length %d too short", m)
+	}
+	query := q
+	if opts.ZNormalize {
+		query = ts.ZNormalizeWindow(q, nil)
+	}
+	// Envelope of the query, used by the first Keogh filter.
+	qU, qL := dist.Envelope(query, m, opts.Band)
+
+	best := Result{Dist: math.Inf(1)}
+	var stats Stats
+	scratch := make([]float64, m)
+
+	for si, s := range d.Series {
+		if opts.ExcludeSeries != nil && opts.ExcludeSeries[si] {
+			continue
+		}
+		if s.Len() < m {
+			continue
+		}
+		// Full-series envelope; window slices of it bound window envelopes.
+		sU, sL := dist.Envelope(s.Values, s.Len(), opts.Band)
+
+		// Prefix sums for O(1) per-window mean/std in z-norm mode.
+		var prefix, prefixSq []float64
+		if opts.ZNormalize {
+			prefix = make([]float64, s.Len()+1)
+			prefixSq = make([]float64, s.Len()+1)
+			for i, v := range s.Values {
+				prefix[i+1] = prefix[i] + v
+				prefixSq[i+1] = prefixSq[i] + v*v
+			}
+		}
+
+		for st := 0; st+m <= s.Len(); st++ {
+			ref := ts.SubSeq{Series: si, Start: st, Length: m}
+			if opts.ExcludeOverlap.Length > 0 && ref.Overlaps(opts.ExcludeOverlap) {
+				continue
+			}
+			stats.Windows++
+			raw := s.Values[st : st+m]
+
+			var mean, std float64
+			if opts.ZNormalize {
+				n := float64(m)
+				mean = (prefix[st+m] - prefix[st]) / n
+				variance := (prefixSq[st+m]-prefixSq[st])/n - mean*mean
+				if variance < 0 {
+					variance = 0
+				}
+				std = math.Sqrt(variance)
+			}
+
+			// --- LB_Kim on (normalized) endpoints, no materialization.
+			first := znorm(raw[0], mean, std, opts.ZNormalize)
+			last := znorm(raw[m-1], mean, std, opts.ZNormalize)
+			lbKim := pointCost(query[0]-first, opts.Squared) +
+				pointCost(query[m-1]-last, opts.Squared)
+			if lbKim > best.Dist {
+				stats.PrunedKim++
+				continue
+			}
+
+			// --- LB_Keogh: query envelope vs candidate values.
+			lbQ := lbKeoghAgainstWindow(raw, qU, qL, mean, std, opts, best.Dist)
+			if lbQ > best.Dist {
+				stats.PrunedKeoghQ++
+				continue
+			}
+
+			// --- LB_Keogh reversed: candidate envelope (series slice) vs
+			// query. Skipped in z-norm mode: slicing a raw-series envelope
+			// does not commute with per-window normalization.
+			if !opts.ZNormalize {
+				lbC := keoghHinge(query, sU[st:st+m], sL[st:st+m], opts.Squared, best.Dist)
+				if lbC > best.Dist {
+					stats.PrunedKeoghC++
+					continue
+				}
+			}
+
+			// --- Full DTW with early abandoning.
+			cand := raw
+			if opts.ZNormalize {
+				for i, v := range raw {
+					if std == 0 {
+						scratch[i] = 0
+					} else {
+						scratch[i] = (v - mean) / std
+					}
+				}
+				cand = scratch
+			}
+			stats.DTWComputed++
+			var dd float64
+			if opts.Squared {
+				dd = dist.DTWSqEarlyAbandon(query, cand, opts.Band, best.Dist)
+			} else {
+				dd = dist.DTWEarlyAbandon(query, cand, opts.Band, best.Dist)
+			}
+			if math.IsInf(dd, 1) {
+				stats.DTWAbandoned++
+				continue
+			}
+			if dd < best.Dist {
+				best.Ref = ref
+				best.Dist = dd
+			}
+		}
+	}
+	if math.IsInf(best.Dist, 1) {
+		return Result{}, ErrNoCandidates
+	}
+	best.Stats = stats
+	return best, nil
+}
+
+func znorm(v, mean, std float64, on bool) float64 {
+	if !on {
+		return v
+	}
+	if std == 0 {
+		return 0
+	}
+	return (v - mean) / std
+}
+
+func pointCost(diff float64, squared bool) float64 {
+	if squared {
+		return diff * diff
+	}
+	return math.Abs(diff)
+}
+
+// lbKeoghAgainstWindow evaluates the query-envelope Keogh bound against a
+// window, z-normalizing candidate values on the fly when configured.
+func lbKeoghAgainstWindow(raw, qU, qL []float64, mean, std float64, opts Options, ub float64) float64 {
+	sum := 0.0
+	for i, rv := range raw {
+		v := znorm(rv, mean, std, opts.ZNormalize)
+		var h float64
+		if v > qU[i] {
+			h = v - qU[i]
+		} else if v < qL[i] {
+			h = qL[i] - v
+		}
+		sum += pointCost(h, opts.Squared)
+		if sum > ub {
+			return math.Inf(1)
+		}
+	}
+	return sum
+}
+
+// keoghHinge is the plain Keogh hinge sum with early abandoning.
+func keoghHinge(x, upper, lower []float64, squared bool, ub float64) float64 {
+	sum := 0.0
+	for i, v := range x {
+		var h float64
+		if v > upper[i] {
+			h = v - upper[i]
+		} else if v < lower[i] {
+			h = lower[i] - v
+		}
+		sum += pointCost(h, squared)
+		if sum > ub {
+			return math.Inf(1)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,177 @@
+package ucrsuite
+
+import (
+	"math"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/dist"
+	"repro/internal/ts"
+)
+
+func walkDataset(t testing.TB, n, length int, seed int64) *ts.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d := ts.NewDataset("ucr")
+	for i := 0; i < n; i++ {
+		vals := make([]float64, length)
+		v := rng.Float64()
+		for j := range vals {
+			v += rng.NormFloat64() * 0.1
+			vals[j] = v
+		}
+		d.MustAdd(ts.NewSeries("u"+strconv.Itoa(i), vals))
+	}
+	return d
+}
+
+func randQuery(rng *rand.Rand, n int) []float64 {
+	q := make([]float64, n)
+	v := rng.Float64()
+	for i := range q {
+		v += rng.NormFloat64() * 0.1
+		q[i] = v
+	}
+	return q
+}
+
+// The exactness property: in raw mode the cascade must return exactly the
+// brute-force answer for every band.
+func TestPropertyExactAgainstBruteForce(t *testing.T) {
+	d := walkDataset(t, 5, 40, 1)
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 15; trial++ {
+		q := randQuery(rng, 5+rng.Intn(10))
+		for _, band := range []int{-1, 3} {
+			got, err := BestMatch(d, q, Options{Band: band})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := bruteforce.BestMatch(d, q, bruteforce.Options{Band: band, EarlyAbandon: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got.Dist-want.Dist) > 1e-9 {
+				t.Fatalf("trial %d band %d: ucrsuite %g != bruteforce %g (refs %v vs %v)",
+					trial, band, got.Dist, want.Dist, got.Ref, want.Ref)
+			}
+		}
+	}
+}
+
+func TestSelfQueryZeroDistance(t *testing.T) {
+	d := walkDataset(t, 4, 30, 3)
+	q := d.Series[2].Values[4:14]
+	r, err := BestMatch(d, q, Options{Band: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Dist != 0 {
+		t.Fatalf("self query dist = %g", r.Dist)
+	}
+}
+
+// Z-norm mode must equal a z-normalizing brute-force scan.
+func TestZNormModeExact(t *testing.T) {
+	d := walkDataset(t, 4, 30, 4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 8; trial++ {
+		q := randQuery(rng, 6+rng.Intn(6))
+		band := 3
+		got, err := BestMatch(d, q, Options{Band: band, ZNormalize: true, Squared: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Oracle: scan every window, z-normalize both sides, squared DTW.
+		qz := ts.ZNormalizeWindow(q, nil)
+		bestDist := math.Inf(1)
+		var bestRef ts.SubSeq
+		for si, s := range d.Series {
+			for st := 0; st+len(q) <= s.Len(); st++ {
+				wz := ts.ZNormalizeWindow(s.Values[st:st+len(q)], nil)
+				dd := dist.DTWSq(qz, wz, band)
+				if dd < bestDist {
+					bestDist = dd
+					bestRef = ts.SubSeq{Series: si, Start: st, Length: len(q)}
+				}
+			}
+		}
+		if math.Abs(got.Dist-bestDist) > 1e-9 {
+			t.Fatalf("trial %d: znorm mode %g (ref %v) != oracle %g (ref %v)",
+				trial, got.Dist, got.Ref, bestDist, bestRef)
+		}
+	}
+}
+
+func TestCascadeActuallyPrunes(t *testing.T) {
+	d := walkDataset(t, 10, 80, 6)
+	rng := rand.New(rand.NewSource(7))
+	q := randQuery(rng, 16)
+	r, err := BestMatch(d, q, Options{Band: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats
+	if st.Windows == 0 {
+		t.Fatal("no windows examined")
+	}
+	pruned := st.PrunedKim + st.PrunedKeoghQ + st.PrunedKeoghC + st.DTWAbandoned
+	if pruned == 0 {
+		t.Fatalf("cascade pruned nothing: %+v", st)
+	}
+	if st.DTWComputed > st.Windows {
+		t.Fatalf("impossible stats: %+v", st)
+	}
+}
+
+func TestExclusions(t *testing.T) {
+	d := walkDataset(t, 3, 24, 8)
+	self := ts.SubSeq{Series: 1, Start: 3, Length: 8}
+	q := self.Values(d)
+	r, err := BestMatch(d, q, Options{Band: -1, ExcludeOverlap: self})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ref.Overlaps(self) {
+		t.Fatal("overlap exclusion violated")
+	}
+	r2, err := BestMatch(d, q, Options{Band: -1, ExcludeSeries: map[int]bool{1: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Ref.Series == 1 {
+		t.Fatal("series exclusion violated")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := walkDataset(t, 2, 10, 9)
+	if _, err := BestMatch(d, []float64{1}, Options{}); err == nil {
+		t.Fatal("short query accepted")
+	}
+	if _, err := BestMatch(d, make([]float64, 99), Options{}); err != ErrNoCandidates {
+		t.Fatalf("oversized query err = %v", err)
+	}
+}
+
+// A constant window must not produce NaNs in z-norm mode.
+func TestZNormConstantWindow(t *testing.T) {
+	d := ts.NewDataset("const")
+	flat := make([]float64, 20)
+	for i := range flat {
+		flat[i] = 5
+	}
+	d.MustAdd(ts.NewSeries("flat", flat))
+	d.MustAdd(ts.NewSeries("walk", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10,
+		11, 12, 13, 14, 15, 16, 17, 18, 19, 20}))
+	q := []float64{1, 5, 2, 6, 3, 7}
+	r, err := BestMatch(d, q, Options{Band: 2, ZNormalize: true, Squared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.Dist) {
+		t.Fatal("NaN distance from constant window")
+	}
+}

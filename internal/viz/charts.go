@@ -1,0 +1,413 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// NamedSeries pairs a label with values for multi-series charts.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}
+
+// LineChart renders one or more series as overlaid lines with a legend and
+// a light frame; the demo's basic preview/selection chart.
+func LineChart(title string, series []NamedSeries, width, height float64) string {
+	c := NewCanvas(width, height)
+	const mL, mR, mT, mB = 46, 12, 28, 20
+	plotW := width - mL - mR
+	plotH := height - mT - mB
+
+	var all [][]float64
+	maxLen := 1
+	for _, s := range series {
+		all = append(all, s.Values)
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	lo, hi := minMaxAll(all...)
+	x := NewScale(0, float64(maxLen-1), mL, mL+plotW, 0)
+	y := NewScale(lo, hi, mT+plotH, mT, 0.06)
+
+	frame(c, mL, mT, plotW, plotH, lo, hi, y)
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+
+	for i, s := range series {
+		drawSeries(c, s.Values, x, y, Style{Stroke: PaletteColor(i), StrokeWidth: 1.6})
+		// Legend swatch.
+		lx := mL + 8 + float64(i)*110
+		c.Line(lx, mT+8, lx+16, mT+8, Style{Stroke: PaletteColor(i), StrokeWidth: 2})
+		c.Text(lx+20, mT+12, "", "#333333", 10, s.Name)
+	}
+	return c.String()
+}
+
+// WarpChart renders the demo's "multiple lines" result view (Fig 2, top
+// right): the query and its best match on one plot, with dotted lines
+// connecting the warped point pairs of the DTW alignment so the analyst
+// sees which points matched.
+func WarpChart(title string, q NamedSeries, m NamedSeries, path dist.WarpPath, width, height float64) string {
+	c := NewCanvas(width, height)
+	const mL, mR, mT, mB = 46, 12, 28, 20
+	plotW := width - mL - mR
+	plotH := height - mT - mB
+
+	lo, hi := minMaxAll(q.Values, m.Values)
+	maxLen := len(q.Values)
+	if len(m.Values) > maxLen {
+		maxLen = len(m.Values)
+	}
+	xq := NewScale(0, float64(maxLen-1), mL, mL+plotW, 0)
+	y := NewScale(lo, hi, mT+plotH, mT, 0.06)
+
+	frame(c, mL, mT, plotW, plotH, lo, hi, y)
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+
+	// Dotted warping connections first, underneath the lines.
+	for _, stp := range path {
+		if stp.I >= len(q.Values) || stp.J >= len(m.Values) {
+			continue
+		}
+		c.Line(xq.Apply(float64(stp.I)), y.Apply(q.Values[stp.I]),
+			xq.Apply(float64(stp.J)), y.Apply(m.Values[stp.J]),
+			Style{Stroke: "#999999", StrokeWidth: 0.7, Dash: "2,3", Opacity: 0.8})
+	}
+	drawSeries(c, q.Values, xq, y, Style{Stroke: PaletteColor(0), StrokeWidth: 1.8})
+	drawSeries(c, m.Values, xq, y, Style{Stroke: PaletteColor(2), StrokeWidth: 1.8})
+
+	c.Line(mL+8, mT+8, mL+24, mT+8, Style{Stroke: PaletteColor(0), StrokeWidth: 2})
+	c.Text(mL+28, mT+12, "", "#333333", 10, q.Name)
+	c.Line(mL+120, mT+8, mL+136, mT+8, Style{Stroke: PaletteColor(2), StrokeWidth: 2})
+	c.Text(mL+140, mT+12, "", "#333333", 10, m.Name)
+	return c.String()
+}
+
+// RadialChart compacts two series onto a shared polar display (Fig 3a):
+// angle encodes time, radius encodes value. Close shapes wind around each
+// other tightly.
+func RadialChart(title string, a, b NamedSeries, size float64) string {
+	c := NewCanvas(size, size)
+	cx, cy := size/2, size/2+8
+	maxR := size/2 - 36
+	lo, hi := minMaxAll(a.Values, b.Values)
+
+	c.Text(size/2, 16, "middle", "#222222", 13, title)
+	// Reference rings.
+	for _, f := range []float64{0.33, 0.66, 1.0} {
+		c.Circle(cx, cy, maxR*f, Style{Stroke: "#dddddd"})
+	}
+	for i, s := range []NamedSeries{a, b} {
+		xs, ys := radialPoints(s.Values, cx, cy, maxR, lo, hi)
+		// Close the loop.
+		if len(xs) > 1 {
+			xs = append(xs, xs[0])
+			ys = append(ys, ys[0])
+		}
+		c.Polyline(xs, ys, Style{Stroke: PaletteColor(i * 2), StrokeWidth: 1.6})
+		c.Line(20, size-28+float64(i)*12, 36, size-28+float64(i)*12,
+			Style{Stroke: PaletteColor(i * 2), StrokeWidth: 2})
+		c.Text(40, size-24+float64(i)*12, "", "#333333", 10, s.Name)
+	}
+	return c.String()
+}
+
+func radialPoints(vals []float64, cx, cy, maxR, lo, hi float64) (xs, ys []float64) {
+	span := hi - lo
+	for i, v := range vals {
+		t := 0.5
+		if span > 0 {
+			t = (v - lo) / span
+		}
+		r := maxR * (0.2 + 0.8*t)
+		theta := 2*math.Pi*float64(i)/float64(len(vals)) - math.Pi/2
+		xs = append(xs, cx+r*math.Cos(theta))
+		ys = append(ys, cy+r*math.Sin(theta))
+	}
+	return xs, ys
+}
+
+// ConnectedScatter plots series a against series b point by point in time
+// order, connecting consecutive points (Fig 3b). Points hugging the
+// diagonal mean the two series take near-identical values; the diagonal is
+// drawn for reference. Series of different lengths are compared via the
+// DTW alignment path when provided, else by linear resampling.
+func ConnectedScatter(title string, a, b NamedSeries, path dist.WarpPath, size float64) string {
+	c := NewCanvas(size, size)
+	const m = 44
+	plot := size - 2*m
+
+	// Build the (a_i, b_j) pairs.
+	var pa, pb []float64
+	if len(path) > 0 {
+		for _, stp := range path {
+			if stp.I < len(a.Values) && stp.J < len(b.Values) {
+				pa = append(pa, a.Values[stp.I])
+				pb = append(pb, b.Values[stp.J])
+			}
+		}
+	} else {
+		n := len(a.Values)
+		bb := b.Values
+		if len(bb) != n {
+			bb = dist.Resample(bb, n)
+		}
+		pa = append(pa, a.Values...)
+		pb = append(pb, bb...)
+	}
+	lo, hi := minMaxAll(pa, pb)
+	sc := NewScale(lo, hi, 0, plot, 0.06)
+
+	c.Text(size/2, 16, "middle", "#222222", 13, title)
+	done := c.Group(m, m)
+	c.Rect(0, 0, plot, plot, Style{Stroke: "#cccccc"})
+	// The x=y reference diagonal (SVG y is flipped).
+	c.Line(0, plot, plot, 0, Style{Stroke: "#bbbbbb", Dash: "4,4"})
+	xs := make([]float64, len(pa))
+	ys := make([]float64, len(pa))
+	for i := range pa {
+		xs[i] = sc.Apply(pa[i])
+		ys[i] = plot - sc.Apply(pb[i])
+	}
+	c.Polyline(xs, ys, Style{Stroke: PaletteColor(4), StrokeWidth: 1.2, Opacity: 0.9})
+	for i := range xs {
+		c.Circle(xs[i], ys[i], 2.2, Style{Fill: PaletteColor(4)})
+	}
+	done()
+	c.Text(size/2, size-6, "middle", "#666666", 10, a.Name)
+	c.Text(12, size/2, "middle", "#666666", 10, b.Name)
+	return c.String()
+}
+
+// OverviewCell is one group representative for the overview grid.
+type OverviewCell struct {
+	Rep   []float64
+	Count int
+	Label string
+}
+
+// OverviewGrid renders the demo's overview pane (Fig 2, top left): a small
+// multiple per similarity-group representative, tinted so that color
+// intensity grows with group cardinality.
+func OverviewGrid(title string, cells []OverviewCell, columns int, cellW, cellH float64) string {
+	if columns <= 0 {
+		columns = 4
+	}
+	rows := (len(cells) + columns - 1) / columns
+	if rows == 0 {
+		rows = 1
+	}
+	const pad = 8
+	width := float64(columns)*(cellW+pad) + pad
+	height := float64(rows)*(cellH+pad) + pad + 26
+	c := NewCanvas(width, height)
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+
+	maxCount := 1
+	for _, cell := range cells {
+		if cell.Count > maxCount {
+			maxCount = cell.Count
+		}
+	}
+	for i, cell := range cells {
+		col := i % columns
+		row := i / columns
+		x0 := pad + float64(col)*(cellW+pad)
+		y0 := 26 + pad + float64(row)*(cellH+pad)
+		t := float64(cell.Count) / float64(maxCount)
+		done := c.Group(x0, y0)
+		c.Rect(0, 0, cellW, cellH, Style{Stroke: "#cccccc", Fill: HeatColor(t)})
+		lo, hi := minMax(cell.Rep)
+		xsc := NewScale(0, float64(maxI(len(cell.Rep)-1, 1)), 4, cellW-4, 0)
+		ysc := NewScale(lo, hi, cellH-14, 6, 0.1)
+		stroke := "#1f3b70"
+		if t > 0.6 {
+			stroke = "#ffffff" // keep the sparkline visible on dark tiles
+		}
+		drawSeries(c, cell.Rep, xsc, ysc, Style{Stroke: stroke, StrokeWidth: 1.4})
+		label := cell.Label
+		if label == "" {
+			label = fmt.Sprintf("n=%d", cell.Count)
+		}
+		labelFill := "#444444"
+		if t > 0.6 {
+			labelFill = "#e8eefc"
+		}
+		c.Text(cellW/2, cellH-3, "middle", labelFill, 9, label)
+		done()
+	}
+	return c.String()
+}
+
+// SeasonalSegment is one motif occurrence for the seasonal view.
+type SeasonalSegment struct {
+	Start, Length int
+}
+
+// SeasonalView renders the demo's seasonal pane (Fig 4): the full series
+// in grey with the recurring pattern's occurrences overdrawn in
+// alternating blue and green, clarifying consecutive instances.
+func SeasonalView(title string, values []float64, segments []SeasonalSegment, width, height float64) string {
+	c := NewCanvas(width, height)
+	const mL, mR, mT, mB = 46, 12, 28, 18
+	plotW := width - mL - mR
+	plotH := height - mT - mB
+	lo, hi := minMax(values)
+	x := NewScale(0, float64(maxI(len(values)-1, 1)), mL, mL+plotW, 0)
+	y := NewScale(lo, hi, mT+plotH, mT, 0.06)
+
+	frame(c, mL, mT, plotW, plotH, lo, hi, y)
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+	drawSeries(c, values, x, y, Style{Stroke: "#bbbbbb", StrokeWidth: 1})
+
+	colors := []string{PaletteColor(0), PaletteColor(1)} // alternating blue/green
+	for k, seg := range segments {
+		if seg.Start < 0 || seg.Start+seg.Length > len(values) {
+			continue
+		}
+		sub := values[seg.Start : seg.Start+seg.Length]
+		xs := make([]float64, len(sub))
+		ys := make([]float64, len(sub))
+		for i, v := range sub {
+			xs[i] = x.Apply(float64(seg.Start + i))
+			ys[i] = y.Apply(v)
+		}
+		c.Polyline(xs, ys, Style{Stroke: colors[k%2], StrokeWidth: 2})
+		// Soft band behind each occurrence.
+		c.Rect(x.Apply(float64(seg.Start)), mT,
+			x.Apply(float64(seg.Start+seg.Length-1))-x.Apply(float64(seg.Start)), plotH,
+			Style{Fill: colors[k%2], Opacity: 0.08})
+	}
+	return c.String()
+}
+
+// HistogramMarker annotates a vertical reference line on a histogram
+// (used to show recommended thresholds over the distance distribution).
+type HistogramMarker struct {
+	Value float64
+	Label string
+}
+
+// Histogram renders a value distribution as bars with optional vertical
+// markers; the threshold-recommendation view draws the pairwise-distance
+// distribution with the tight/balanced/loose cut points.
+func Histogram(title string, values []float64, bins int, markers []HistogramMarker, width, height float64) string {
+	c := NewCanvas(width, height)
+	const mL, mR, mT, mB = 46, 12, 28, 24
+	plotW := width - mL - mR
+	plotH := height - mT - mB
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+	c.Rect(mL, mT, plotW, plotH, Style{Stroke: "#cccccc"})
+	if len(values) == 0 || bins <= 0 {
+		return c.String()
+	}
+	lo, hi := minMax(values)
+	if hi == lo {
+		hi = lo + 1
+	}
+	counts := make([]int, bins)
+	for _, v := range values {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	maxCount := 1
+	for _, ct := range counts {
+		if ct > maxCount {
+			maxCount = ct
+		}
+	}
+	barW := plotW / float64(bins)
+	for b, ct := range counts {
+		if ct == 0 {
+			continue
+		}
+		h := plotH * float64(ct) / float64(maxCount)
+		c.Rect(mL+float64(b)*barW, mT+plotH-h, barW*0.92, h,
+			Style{Fill: "#9ecae1", Stroke: "#6baed6", StrokeWidth: 0.5})
+	}
+	x := NewScale(lo, hi, mL, mL+plotW, 0)
+	for i, mk := range markers {
+		px := x.Apply(mk.Value)
+		if px < mL || px > mL+plotW {
+			continue
+		}
+		c.Line(px, mT, px, mT+plotH, Style{Stroke: PaletteColor(2 + i), StrokeWidth: 1.5, Dash: "5,3"})
+		c.Text(px+3, mT+12+float64(i)*12, "", PaletteColor(2+i), 10, mk.Label)
+	}
+	c.Text(mL, mT+plotH+14, "", "#666666", 9, fmt.Sprintf("%.3g", lo))
+	c.Text(mL+plotW, mT+plotH+14, "end", "#666666", 9, fmt.Sprintf("%.3g", hi))
+	return c.String()
+}
+
+// StackedLineChart renders the demo's "stacked lines" view (§3.4): each
+// series gets its own horizontal band, aligned on a shared time axis, so
+// many series can be compared at once without overplotting. Each band is
+// scaled independently (shape comparison, not magnitude comparison), with
+// the series name at the left edge.
+func StackedLineChart(title string, series []NamedSeries, width, bandH float64) string {
+	const mL, mR, mT = 72, 12, 28
+	height := mT + float64(len(series))*bandH + 10
+	c := NewCanvas(width, height)
+	c.Text(width/2, 16, "middle", "#222222", 13, title)
+	plotW := width - mL - mR
+
+	maxLen := 1
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	x := NewScale(0, float64(maxI(maxLen-1, 1)), mL, mL+plotW, 0)
+	for i, s := range series {
+		y0 := mT + float64(i)*bandH
+		done := c.Group(0, y0)
+		c.Line(mL, bandH, mL+plotW, bandH, Style{Stroke: "#eeeeee"})
+		lo, hi := minMax(s.Values)
+		y := NewScale(lo, hi, bandH-4, 4, 0.05)
+		drawSeries(c, s.Values, x, y, Style{Stroke: PaletteColor(i), StrokeWidth: 1.3})
+		c.Text(mL-6, bandH/2+4, "end", "#444444", 10, s.Name)
+		done()
+	}
+	return c.String()
+}
+
+// drawSeries polylines values through the given scales.
+func drawSeries(c *Canvas, values []float64, x, y Scale, st Style) {
+	if len(values) == 0 {
+		return
+	}
+	xs := make([]float64, len(values))
+	ys := make([]float64, len(values))
+	for i, v := range values {
+		xs[i] = x.Apply(float64(i))
+		ys[i] = y.Apply(v)
+	}
+	if len(values) == 1 {
+		c.Circle(xs[0], ys[0], 2, Style{Fill: st.Stroke})
+		return
+	}
+	c.Polyline(xs, ys, st)
+}
+
+// frame draws the plot border and min/max y tick labels.
+func frame(c *Canvas, mL, mT, plotW, plotH, lo, hi float64, y Scale) {
+	c.Rect(mL, mT, plotW, plotH, Style{Stroke: "#cccccc"})
+	c.Text(mL-4, y.Apply(hi)+4, "end", "#666666", 9, fmt.Sprintf("%.3g", hi))
+	c.Text(mL-4, y.Apply(lo)+4, "end", "#666666", 9, fmt.Sprintf("%.3g", lo))
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,265 @@
+// Package viz renders the ONEX demo's visualizations (paper §3.4, Figs
+// 2-4) as standalone SVG documents: multiple-lines charts with dotted
+// warped-point connections, radial charts, connected scatter plots, the
+// overview grid of group representatives color-coded by cardinality, and
+// the seasonal view with alternating colored repeated segments.
+//
+// The original system renders these in a web browser; producing
+// deterministic SVG files keeps the reproduction dependency-free while
+// preserving every visual element the demo narrates.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Canvas is a minimal SVG document builder. Create one with NewCanvas,
+// draw, then WriteTo/String. All coordinates are in pixels.
+type Canvas struct {
+	w, h float64
+	b    strings.Builder
+}
+
+// NewCanvas starts an SVG document of the given pixel size with a white
+// background.
+func NewCanvas(width, height float64) *Canvas {
+	c := &Canvas{w: width, h: height}
+	fmt.Fprintf(&c.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%g" height="%g" viewBox="0 0 %g %g">`,
+		width, height, width, height)
+	c.b.WriteByte('\n')
+	fmt.Fprintf(&c.b, `<rect x="0" y="0" width="%g" height="%g" fill="#ffffff"/>`, width, height)
+	c.b.WriteByte('\n')
+	return c
+}
+
+// Width and Height return the canvas dimensions.
+func (c *Canvas) Width() float64 { return c.w }
+
+// Height returns the canvas height.
+func (c *Canvas) Height() float64 { return c.h }
+
+// Style bundles the stroke/fill attributes shared by the draw calls.
+type Style struct {
+	Stroke      string  // stroke color; "" omits
+	StrokeWidth float64 // 0 means 1
+	Fill        string  // fill color; "" means none
+	Dash        string  // stroke-dasharray; "" omits
+	Opacity     float64 // 0 means fully opaque (1)
+}
+
+func (s Style) attrs() string {
+	var b strings.Builder
+	if s.Stroke != "" {
+		fmt.Fprintf(&b, ` stroke="%s"`, s.Stroke)
+		w := s.StrokeWidth
+		if w == 0 {
+			w = 1
+		}
+		fmt.Fprintf(&b, ` stroke-width="%g"`, w)
+	}
+	if s.Fill != "" {
+		fmt.Fprintf(&b, ` fill="%s"`, s.Fill)
+	} else {
+		b.WriteString(` fill="none"`)
+	}
+	if s.Dash != "" {
+		fmt.Fprintf(&b, ` stroke-dasharray="%s"`, s.Dash)
+	}
+	if s.Opacity > 0 && s.Opacity < 1 {
+		fmt.Fprintf(&b, ` opacity="%g"`, s.Opacity)
+	}
+	return b.String()
+}
+
+// Line draws a segment.
+func (c *Canvas) Line(x1, y1, x2, y2 float64, st Style) {
+	fmt.Fprintf(&c.b, `<line x1="%s" y1="%s" x2="%s" y2="%s"%s/>`,
+		fnum(x1), fnum(y1), fnum(x2), fnum(y2), st.attrs())
+	c.b.WriteByte('\n')
+}
+
+// Polyline draws a connected series of points.
+func (c *Canvas) Polyline(xs, ys []float64, st Style) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return
+	}
+	var pts strings.Builder
+	for i := range xs {
+		if i > 0 {
+			pts.WriteByte(' ')
+		}
+		pts.WriteString(fnum(xs[i]))
+		pts.WriteByte(',')
+		pts.WriteString(fnum(ys[i]))
+	}
+	fmt.Fprintf(&c.b, `<polyline points="%s"%s/>`, pts.String(), st.attrs())
+	c.b.WriteByte('\n')
+}
+
+// Circle draws a circle.
+func (c *Canvas) Circle(cx, cy, r float64, st Style) {
+	fmt.Fprintf(&c.b, `<circle cx="%s" cy="%s" r="%s"%s/>`, fnum(cx), fnum(cy), fnum(r), st.attrs())
+	c.b.WriteByte('\n')
+}
+
+// Rect draws a rectangle.
+func (c *Canvas) Rect(x, y, w, h float64, st Style) {
+	fmt.Fprintf(&c.b, `<rect x="%s" y="%s" width="%s" height="%s"%s/>`,
+		fnum(x), fnum(y), fnum(w), fnum(h), st.attrs())
+	c.b.WriteByte('\n')
+}
+
+// Text draws a label. anchor is "start", "middle" or "end" ("" = start).
+func (c *Canvas) Text(x, y float64, anchor, fill string, size float64, text string) {
+	if anchor == "" {
+		anchor = "start"
+	}
+	if fill == "" {
+		fill = "#333333"
+	}
+	if size == 0 {
+		size = 11
+	}
+	fmt.Fprintf(&c.b, `<text x="%s" y="%s" text-anchor="%s" fill="%s" font-size="%g" font-family="sans-serif">%s</text>`,
+		fnum(x), fnum(y), anchor, fill, size, EscapeText(text))
+	c.b.WriteByte('\n')
+}
+
+// Group opens a translated <g> element; the returned func closes it.
+func (c *Canvas) Group(tx, ty float64) func() {
+	fmt.Fprintf(&c.b, `<g transform="translate(%s,%s)">`, fnum(tx), fnum(ty))
+	c.b.WriteByte('\n')
+	return func() {
+		c.b.WriteString("</g>\n")
+	}
+}
+
+// String finalizes and returns the document.
+func (c *Canvas) String() string {
+	return c.b.String() + "</svg>\n"
+}
+
+// WriteTo writes the finalized document.
+func (c *Canvas) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, c.String())
+	return int64(n), err
+}
+
+// EscapeText escapes the XML-significant characters of a text node.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// fnum formats a coordinate compactly (2 decimal places, trimmed).
+func fnum(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		return "0"
+	}
+	return s
+}
+
+// Scale maps a data interval onto a pixel interval (possibly inverted for
+// the SVG y axis).
+type Scale struct {
+	DomainMin, DomainMax float64
+	RangeMin, RangeMax   float64
+}
+
+// Apply maps a data value to pixels; a degenerate domain maps to the range
+// midpoint.
+func (s Scale) Apply(v float64) float64 {
+	span := s.DomainMax - s.DomainMin
+	if span == 0 {
+		return (s.RangeMin + s.RangeMax) / 2
+	}
+	t := (v - s.DomainMin) / span
+	return s.RangeMin + t*(s.RangeMax-s.RangeMin)
+}
+
+// NewScale builds a scale with a small domain padding so lines do not
+// touch the plot border.
+func NewScale(dmin, dmax, rmin, rmax, padFrac float64) Scale {
+	span := dmax - dmin
+	pad := span * padFrac
+	if span == 0 {
+		pad = 1
+	}
+	return Scale{DomainMin: dmin - pad, DomainMax: dmax + pad, RangeMin: rmin, RangeMax: rmax}
+}
+
+// Palette is the demo's line color cycle.
+var Palette = []string{
+	"#1f77b4", // blue
+	"#2ca02c", // green
+	"#d62728", // red
+	"#ff7f0e", // orange
+	"#9467bd", // purple
+	"#8c564b", // brown
+	"#17becf", // cyan
+	"#e377c2", // pink
+}
+
+// PaletteColor returns the i-th palette color, cycling.
+func PaletteColor(i int) string { return Palette[((i%len(Palette))+len(Palette))%len(Palette)] }
+
+// HeatColor maps t in [0,1] to a white->deep-blue intensity ramp, the
+// overview pane's "color intensity increases with cardinality" encoding.
+func HeatColor(t float64) string {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	// Interpolate #f0f4ff -> #08306b.
+	r := int(240 + t*(8-240))
+	g := int(244 + t*(48-244))
+	b := int(255 + t*(107-255))
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}
+
+// minMax returns the extrema of values (0,0 for empty).
+func minMax(values []float64) (float64, float64) {
+	if len(values) == 0 {
+		return 0, 0
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// minMaxAll returns the extrema across several slices.
+func minMaxAll(series ...[]float64) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if math.IsInf(lo, 1) {
+		return 0, 0
+	}
+	return lo, hi
+}

@@ -1,0 +1,272 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func checkSVG(t *testing.T, svg string) {
+	t.Helper()
+	if !strings.HasPrefix(svg, "<svg") {
+		t.Fatal("missing <svg prefix")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("missing </svg> suffix")
+	}
+	if strings.Count(svg, "<svg") != 1 {
+		t.Fatal("nested svg roots")
+	}
+	if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+		t.Fatal("non-finite coordinates leaked into SVG")
+	}
+}
+
+func TestCanvasPrimitives(t *testing.T) {
+	c := NewCanvas(100, 50)
+	c.Line(0, 0, 10, 10, Style{Stroke: "#000000"})
+	c.Polyline([]float64{0, 5, 10}, []float64{1, 2, 3}, Style{Stroke: "red"})
+	c.Circle(5, 5, 2, Style{Fill: "blue"})
+	c.Rect(1, 1, 8, 8, Style{Stroke: "green", Dash: "2,2", Opacity: 0.5})
+	c.Text(10, 10, "middle", "", 0, "hi & <bye>")
+	done := c.Group(3, 4)
+	c.Line(0, 0, 1, 1, Style{Stroke: "#abc"})
+	done()
+	svg := c.String()
+	checkSVG(t, svg)
+	for _, want := range []string{"<line", "<polyline", "<circle", "<rect", "<text", "<g transform", "hi &amp; &lt;bye&gt;"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+	if c.Width() != 100 || c.Height() != 50 {
+		t.Fatal("dimensions wrong")
+	}
+}
+
+func TestPolylineIgnoresBadInput(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Polyline(nil, nil, Style{Stroke: "red"})
+	c.Polyline([]float64{1}, []float64{1, 2}, Style{Stroke: "red"})
+	if strings.Contains(c.String(), "<polyline") {
+		t.Fatal("bad polyline input emitted")
+	}
+}
+
+func TestFnumHandlesNonFinite(t *testing.T) {
+	c := NewCanvas(10, 10)
+	c.Line(math.NaN(), math.Inf(1), 1, 1, Style{Stroke: "red"})
+	checkSVG(t, c.String())
+}
+
+func TestScale(t *testing.T) {
+	s := NewScale(0, 10, 100, 200, 0)
+	if got := s.Apply(5); got != 150 {
+		t.Fatalf("Apply(5) = %g", got)
+	}
+	// Inverted range (SVG y axis).
+	inv := NewScale(0, 10, 200, 100, 0)
+	if got := inv.Apply(0); got != 200 {
+		t.Fatalf("inverted Apply(0) = %g", got)
+	}
+	// Degenerate domain maps to the midpoint.
+	deg := Scale{DomainMin: 5, DomainMax: 5, RangeMin: 0, RangeMax: 10}
+	if got := deg.Apply(5); got != 5 {
+		t.Fatalf("degenerate Apply = %g", got)
+	}
+}
+
+func TestHeatColorRamp(t *testing.T) {
+	lowR := HeatColor(0)
+	highR := HeatColor(1)
+	if lowR == highR {
+		t.Fatal("heat ramp is flat")
+	}
+	if HeatColor(-1) != lowR || HeatColor(2) != highR {
+		t.Fatal("heat ramp not clamped")
+	}
+	if !strings.HasPrefix(lowR, "#") || len(lowR) != 7 {
+		t.Fatalf("bad color format %q", lowR)
+	}
+}
+
+func TestPaletteColorCycles(t *testing.T) {
+	if PaletteColor(0) != PaletteColor(len(Palette)) {
+		t.Fatal("palette does not cycle")
+	}
+	if PaletteColor(-1) == "" {
+		t.Fatal("negative index should still map")
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	svg := LineChart("growth", []NamedSeries{
+		{Name: "MA", Values: []float64{1, 2, 3, 2, 4}},
+		{Name: "RI", Values: []float64{2, 2, 2, 3, 3}},
+	}, 400, 200)
+	checkSVG(t, svg)
+	if !strings.Contains(svg, "MA") || !strings.Contains(svg, "growth") {
+		t.Fatal("labels missing")
+	}
+	if strings.Count(svg, "<polyline") < 2 {
+		t.Fatal("expected two series lines")
+	}
+}
+
+func TestWarpChartDrawsConnections(t *testing.T) {
+	q := []float64{0, 1, 2, 1, 0}
+	m := []float64{0, 0, 1, 2, 1, 0}
+	_, path := dist.DTWPath(q, m, -1)
+	svg := WarpChart("match", NamedSeries{Name: "query", Values: q},
+		NamedSeries{Name: "best", Values: m}, path, 480, 240)
+	checkSVG(t, svg)
+	// One dotted connector per path step.
+	if got := strings.Count(svg, `stroke-dasharray="2,3"`); got != len(path) {
+		t.Fatalf("connector count = %d, want %d", got, len(path))
+	}
+}
+
+func TestRadialChart(t *testing.T) {
+	svg := RadialChart("tech employment", NamedSeries{Name: "MA", Values: []float64{1, 2, 3, 4}},
+		NamedSeries{Name: "AR", Values: []float64{1.1, 2.1, 2.9, 4.2}}, 300)
+	checkSVG(t, svg)
+	if strings.Count(svg, "<circle") < 3 {
+		t.Fatal("reference rings missing")
+	}
+	if strings.Count(svg, "<polyline") < 2 {
+		t.Fatal("two radial traces expected")
+	}
+}
+
+func TestConnectedScatter(t *testing.T) {
+	a := NamedSeries{Name: "MA", Values: []float64{1, 2, 3, 4, 5}}
+	b := NamedSeries{Name: "AR", Values: []float64{1, 2, 3, 4, 5}}
+	svg := ConnectedScatter("close match", a, b, nil, 300)
+	checkSVG(t, svg)
+	if !strings.Contains(svg, `stroke-dasharray="4,4"`) {
+		t.Fatal("diagonal reference missing")
+	}
+	// Identical series: every point sits on the diagonal y = x (in plot
+	// coordinates, y flipped).
+	// Structural check only: 5 scatter points drawn.
+	if got := strings.Count(svg, "<circle"); got != 5 {
+		t.Fatalf("scatter points = %d, want 5", got)
+	}
+
+	// With an explicit path, pairs follow the alignment.
+	q := []float64{0, 1, 2}
+	mm := []float64{0, 0, 1, 2}
+	_, path := dist.DTWPath(q, mm, -1)
+	svg2 := ConnectedScatter("warped", NamedSeries{Name: "q", Values: q},
+		NamedSeries{Name: "m", Values: mm}, path, 300)
+	checkSVG(t, svg2)
+	if got := strings.Count(svg2, "<circle"); got != len(path) {
+		t.Fatalf("path scatter points = %d, want %d", got, len(path))
+	}
+	// Different lengths without a path resample instead of failing.
+	svg3 := ConnectedScatter("resampled", NamedSeries{Name: "q", Values: q},
+		NamedSeries{Name: "m", Values: mm}, nil, 300)
+	checkSVG(t, svg3)
+}
+
+func TestOverviewGrid(t *testing.T) {
+	cells := []OverviewCell{
+		{Rep: []float64{1, 2, 3}, Count: 10, Label: "g0"},
+		{Rep: []float64{3, 2, 1}, Count: 5},
+		{Rep: []float64{2, 2, 2}, Count: 1},
+	}
+	svg := OverviewGrid("overview", cells, 2, 90, 60)
+	checkSVG(t, svg)
+	if !strings.Contains(svg, "g0") {
+		t.Fatal("cell label missing")
+	}
+	if !strings.Contains(svg, "n=5") {
+		t.Fatal("default cell label missing")
+	}
+	// Distinct intensities for distinct cardinalities.
+	if HeatColor(1) == HeatColor(0.1) {
+		t.Fatal("cardinality encoding flat")
+	}
+	// Zero columns defaults sanely.
+	checkSVG(t, OverviewGrid("o", cells, 0, 90, 60))
+	// Empty grid is a valid document.
+	checkSVG(t, OverviewGrid("empty", nil, 4, 90, 60))
+}
+
+func TestSeasonalView(t *testing.T) {
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i) / 5)
+	}
+	segs := []SeasonalSegment{{Start: 0, Length: 10}, {Start: 30, Length: 10}, {Start: 45, Length: 10}}
+	svg := SeasonalView("patterns", vals, segs, 500, 200)
+	checkSVG(t, svg)
+	// Base line + 3 occurrence overlays.
+	if got := strings.Count(svg, "<polyline"); got != 4 {
+		t.Fatalf("polylines = %d, want 4", got)
+	}
+	// Alternating colors: both palette colors appear.
+	if !strings.Contains(svg, PaletteColor(0)) || !strings.Contains(svg, PaletteColor(1)) {
+		t.Fatal("alternating segment colors missing")
+	}
+	// Out-of-range segments are skipped, not drawn.
+	svg2 := SeasonalView("oob", vals, []SeasonalSegment{{Start: 55, Length: 20}}, 500, 200)
+	if got := strings.Count(svg2, "<polyline"); got != 1 {
+		t.Fatalf("out-of-range segment drawn: %d polylines", got)
+	}
+}
+
+func TestSingleValueSeries(t *testing.T) {
+	svg := LineChart("dot", []NamedSeries{{Name: "x", Values: []float64{5}}}, 200, 100)
+	checkSVG(t, svg)
+}
+
+func TestHistogram(t *testing.T) {
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = float64(i % 17)
+	}
+	svg := Histogram("distances", vals, 12, []HistogramMarker{
+		{Value: 4, Label: "tight"},
+		{Value: 9, Label: "loose"},
+	}, 420, 220)
+	checkSVG(t, svg)
+	if !strings.Contains(svg, "tight") || !strings.Contains(svg, "loose") {
+		t.Fatal("markers missing")
+	}
+	// Bars present (at least one rect beyond background + frame).
+	if strings.Count(svg, "<rect") < 5 {
+		t.Fatal("too few bars")
+	}
+	// Degenerate inputs still render.
+	checkSVG(t, Histogram("empty", nil, 10, nil, 200, 100))
+	checkSVG(t, Histogram("const", []float64{3, 3, 3}, 5, nil, 200, 100))
+	// Out-of-range markers are skipped silently.
+	svg2 := Histogram("m", []float64{1, 2, 3}, 3, []HistogramMarker{{Value: 99, Label: "far"}}, 200, 100)
+	if strings.Contains(svg2, "far") {
+		t.Fatal("out-of-range marker drawn")
+	}
+}
+
+func TestStackedLineChart(t *testing.T) {
+	series := []NamedSeries{
+		{Name: "MA", Values: []float64{1, 2, 3, 2}},
+		{Name: "CT", Values: []float64{5, 5, 6, 7}},
+		{Name: "RI", Values: []float64{0.1, 0.2, 0.1, 0.3}},
+	}
+	svg := StackedLineChart("stacked", series, 500, 48)
+	checkSVG(t, svg)
+	for _, want := range []string{"MA", "CT", "RI", "stacked"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("missing %q", want)
+		}
+	}
+	// One band line + one polyline per series.
+	if got := strings.Count(svg, "<polyline"); got != 3 {
+		t.Fatalf("polylines = %d, want 3", got)
+	}
+	// Empty input still renders a document.
+	checkSVG(t, StackedLineChart("empty", nil, 300, 40))
+}

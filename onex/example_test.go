@@ -1,0 +1,81 @@
+package onex_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/onex"
+)
+
+// Open a synthetic economic dataset and find which other state's growth
+// trajectory most resembles Massachusetts'.
+func ExampleOpen() {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 12})
+	if err != nil {
+		panic(err)
+	}
+	m, err := db.BestMatchOtherSeries("MA", 12, 12)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s matches MA's recent growth (length %d)\n", m.Series, m.Length)
+	// Output: IL matches MA's recent growth (length 5)
+}
+
+// Seasonal queries surface repeating patterns inside one series: daily
+// cycles in household electricity usage.
+func ExampleDB_Seasonal() {
+	data := gen.ElectricityLoad(gen.ElectricityOptions{Households: 1, Days: 21, SamplesPerDay: 12})
+	db, err := onex.Open(data, onex.Config{MinLength: 12, MaxLength: 12, Band: 2})
+	if err != nil {
+		panic(err)
+	}
+	pats, err := db.Seasonal("household-00", 12, 12, 3)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("found %v pattern(s); top one recurs %d times\n", len(pats) > 0, pats[0].Occurrences)
+	// Output: found true pattern(s); top one recurs 15 times
+}
+
+// Threshold recommendations are data-driven: the suggested ST tracks the
+// dataset's own distance distribution.
+func ExampleDB_RecommendThresholds() {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 8})
+	if err != nil {
+		panic(err)
+	}
+	recs, err := db.RecommendThresholds()
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range recs {
+		fmt.Printf("%s: %.4f\n", r.Label, r.ST)
+	}
+	// Output:
+	// tight: 0.0453
+	// balanced: 0.0638
+	// loose: 0.0877
+}
+
+// Range queries return everything within a similarity budget; sweeping the
+// budget shows how the match population grows.
+func ExampleDB_SimilaritySweep() {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 8})
+	if err != nil {
+		panic(err)
+	}
+	ma, err := db.SeriesValues("MA")
+	if err != nil {
+		panic(err)
+	}
+	pts, err := db.SimilaritySweep(ma[0:8], []float64{0.01, 0.05})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("monotone growth: %v\n", pts[0].Matches <= pts[1].Matches)
+	// Output: monotone growth: true
+}

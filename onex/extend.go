@@ -1,0 +1,233 @@
+package onex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// WithinThreshold returns every indexed subsequence whose length-normalized
+// DTW distance from the query (original units) is at most maxDist, best
+// first, capped at limit (0 = unlimited). Sweeping maxDist reproduces the
+// demo's "changes in similarity for varying parameters" exploration.
+func (db *DB) WithinThreshold(q []float64, maxDist float64, limit int) ([]Match, error) {
+	ms, err := db.engine.WithinThreshold(db.normalizeQuery(q), core.RangeOptions{
+		MaxDist: maxDist,
+		Limit:   limit,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = db.publicMatch(m)
+	}
+	return out, nil
+}
+
+// AddSeries appends a new series (original units) to the open database and
+// incrementally indexes its subsequences into the base — the demo's "load
+// new data" flow without a rebuild. Values falling outside the
+// normalization range seen at Open time are mapped linearly beyond [0,1],
+// which keeps all distances consistent. Not safe to call concurrently with
+// queries.
+func (db *DB) AddSeries(name string, values []float64) error {
+	if name == "" {
+		return errors.New("onex: AddSeries: name required")
+	}
+	if len(values) == 0 {
+		return errors.New("onex: AddSeries: no values")
+	}
+	if _, dup := db.raw.ByName(name); dup {
+		return fmt.Errorf("onex: AddSeries: series %q already exists", name)
+	}
+	if err := db.raw.Add(ts.NewSeries(name, values)); err != nil {
+		return fmt.Errorf("onex: AddSeries: %w", err)
+	}
+	var normVals []float64
+	if db.cfg.KeepRaw {
+		normVals = make([]float64, len(values))
+		copy(normVals, values)
+	} else {
+		normVals = db.normalizeQuery(values)
+	}
+	ns := ts.NewSeries(name, normVals)
+	if err := db.normed.Add(ns); err != nil {
+		// Roll back the raw append to stay consistent.
+		db.raw.Series = db.raw.Series[:db.raw.Len()-1]
+		return fmt.Errorf("onex: AddSeries: %w", err)
+	}
+	if err := db.base.AddSeries(db.normed, db.normed.Len()-1); err != nil {
+		db.raw.Series = db.raw.Series[:db.raw.Len()-1]
+		db.normed.Series = db.normed.Series[:db.normed.Len()-1]
+		return fmt.Errorf("onex: AddSeries: %w", err)
+	}
+	// The engine binds dataset+base by checksum; rebind after the change.
+	mode := core.ModeApprox
+	if db.cfg.Exact {
+		mode = core.ModeExact
+	}
+	engine, err := core.NewEngine(db.normed, db.base, core.Options{
+		Band: db.cfg.Band, Mode: mode, LengthNorm: true,
+	})
+	if err != nil {
+		return fmt.Errorf("onex: AddSeries: rebind engine: %w", err)
+	}
+	db.engine = engine
+	return nil
+}
+
+// CommonShape is a shape shared across several series, in original units.
+type CommonShape struct {
+	Length int
+	// Series names the distinct series the shape recurs in.
+	Series []string
+	// Rep is the shared shape in original units.
+	Rep []float64
+	// TotalMembers is the full cardinality of the underlying group.
+	TotalMembers int
+}
+
+// CommonPatterns finds shapes shared by at least minSeries different
+// series (the paper's "critical relationships between time series"),
+// ranked by series coverage. minLen/maxLen zero means the indexed range;
+// k caps the list (0 = default 16).
+func (db *DB) CommonPatterns(minSeries, minLen, maxLen, k int) []CommonShape {
+	pats := db.engine.CommonPatterns(core.CommonOptions{
+		MinSeries:   minSeries,
+		MinLength:   minLen,
+		MaxLength:   maxLen,
+		MaxPatterns: k,
+	})
+	out := make([]CommonShape, len(pats))
+	for i, p := range pats {
+		names := make([]string, len(p.Occurrences))
+		for j, o := range p.Occurrences {
+			names[j] = db.raw.At(o.Series).Name
+		}
+		rep, _ := ts.DenormalizeValues(db.normed, 0, p.Rep)
+		out[i] = CommonShape{
+			Length:       p.Length,
+			Series:       names,
+			Rep:          rep,
+			TotalMembers: p.TotalMembers,
+		}
+	}
+	return out
+}
+
+// ThresholdDistribution returns the per-point pairwise-ED sample, the
+// probe length it was measured at, and the recommendations derived from
+// it — everything a front end needs to draw the threshold histogram.
+func (db *DB) ThresholdDistribution() ([]float64, int, []Recommendation, error) {
+	dists, probe, err := core.SampleDistances(db.normed, core.ThresholdOptions{})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	recs, err := core.RecommendThresholds(db.normed, core.ThresholdOptions{})
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return dists, probe, recs, nil
+}
+
+// SweepPoint re-exports one threshold-sweep step.
+type SweepPoint = core.SweepPoint
+
+// SimilaritySweep counts matches at several thresholds in one pass (the
+// paper's "changes in the similarity between sequences for varying
+// parameters"). Query in original units; thresholds in normalized
+// per-point units like Config.ST.
+func (db *DB) SimilaritySweep(q []float64, thresholds []float64) ([]SweepPoint, error) {
+	return db.engine.SimilaritySweep(db.normalizeQuery(q), thresholds, core.QueryConstraints{})
+}
+
+// Member is one group member in the drill-down view, in original units.
+type Member struct {
+	Series string
+	Start  int
+	Length int
+	// RepED is the Euclidean distance to the group representative in
+	// normalized units (bounded by ST*Length/2).
+	RepED  float64
+	Values []float64
+}
+
+// GroupMembers lists one similarity group's members (the demo's drill-down
+// from the overview pane), nearest the representative first. Address the
+// group by its Overview position: length and index.
+func (db *DB) GroupMembers(length, index int) ([]Member, error) {
+	ms, err := db.engine.GroupMembers(core.GroupRef{Length: length, Index: index})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Member, len(ms))
+	for i, m := range ms {
+		vals, _ := ts.DenormalizeValues(db.normed, m.Ref.Series, m.Values)
+		out[i] = Member{
+			Series: m.SeriesName,
+			Start:  m.Ref.Start,
+			Length: m.Ref.Length,
+			RepED:  m.RepED,
+			Values: vals,
+		}
+	}
+	return out, nil
+}
+
+// LengthSummary re-exports the per-length base statistics row.
+type LengthSummary = core.LengthSummary
+
+// LengthSummaries returns the base's per-length shape (group and
+// subsequence counts), ascending by length.
+func (db *DB) LengthSummaries() []LengthSummary { return db.engine.LengthSummaries() }
+
+// SaveBase persists the built ONEX base to a file (versioned binary format
+// with CRC). Reopening with OpenWithBase skips the preprocessing cost.
+func (db *DB) SaveBase(path string) error {
+	return db.base.SaveFile(path)
+}
+
+// OpenWithBase opens a dataset using a previously saved base instead of
+// rebuilding. The base must have been built (by this library) from exactly
+// this dataset with the same normalization setting; this is verified by
+// checksum. cfg.ST, MinLength and MaxLength are taken from the base.
+func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
+	if d == nil {
+		return nil, errors.New("onex: OpenWithBase: nil dataset")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
+	}
+	raw := d.Clone()
+	normed := d.Clone()
+	if !cfg.KeepRaw {
+		if err := ts.NormalizeMinMax(normed); err != nil {
+			return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
+		}
+	}
+	base, err := grouping.LoadFile(basePath, normed)
+	if err != nil {
+		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
+	}
+	cfg.ST = base.ST
+	cfg.MinLength = base.MinLength
+	cfg.MaxLength = base.MaxLength
+	if cfg.Band == 0 {
+		cfg.Band = maxInt(4, cfg.MaxLength/10)
+	}
+	mode := core.ModeApprox
+	if cfg.Exact {
+		mode = core.ModeExact
+	}
+	engine, err := core.NewEngine(normed, base, core.Options{
+		Band: cfg.Band, Mode: mode, LengthNorm: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
+	}
+	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg}, nil
+}

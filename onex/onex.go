@@ -1,0 +1,391 @@
+// Package onex is the public API of the ONEX reproduction: online
+// exploration of time series collections (Neamtu et al., SIGMOD 2017).
+//
+// ONEX answers DTW similarity queries over every subsequence of a dataset
+// at interactive latency by pre-grouping subsequences with the cheap
+// Euclidean distance ("the ONEX base") and exploring only the compact set
+// of group representatives with DTW.
+//
+// Basic usage:
+//
+//	d, _ := onex.LoadDataset("states.csv")
+//	db, _ := onex.Open(d, onex.Config{})          // normalize, pick ST, build base
+//	m, _ := db.BestMatchForSeries("MA", 0, 12)     // most similar other window
+//	fmt.Println(m.Series, m.Dist)
+//
+// Queries and results are in the dataset's original units; normalization
+// is handled internally.
+package onex
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// Config tunes Open.
+type Config struct {
+	// ST is the per-point similarity threshold in normalized [0,1] units
+	// (the dataset is min-max normalized before grouping, and a group of
+	// length-l windows uses the absolute threshold ST*l). Zero selects the
+	// data-driven "balanced" recommendation automatically (paper §3.3).
+	ST float64
+	// MinLength/MaxLength bound the indexed subsequence lengths.
+	// Defaults: MinLength 2; MaxLength = longest series. Narrow these for
+	// large collections: the subsequence population grows quadratically
+	// with series length.
+	MinLength, MaxLength int
+	// Band is the Sakoe-Chiba width for all DTW comparisons (negative =
+	// unconstrained; 0 means the default of max(4, MaxLength/10)).
+	Band int
+	// Exact switches the engine to certified-exact search; default is the
+	// paper's approximate mode.
+	Exact bool
+	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	Workers int
+	// KeepRaw skips min-max normalization; ST is then in raw units.
+	KeepRaw bool
+}
+
+// DB is an opened ONEX database: a normalized dataset plus its base and
+// query engine. DB is safe for concurrent readers.
+type DB struct {
+	raw    *ts.Dataset // original units (clone of what the caller gave us)
+	normed *ts.Dataset // what the engine sees
+	base   *grouping.Base
+	engine *core.Engine
+	cfg    Config
+}
+
+// Match is one similarity result, reported in original units.
+type Match struct {
+	// Series is the name of the matched series.
+	Series string
+	// Start and Length locate the matched window within Series.
+	Start, Length int
+	// Dist is the length-normalized DTW distance (raw DTW divided by the
+	// longer of query and match) in normalized units, directly comparable
+	// with the per-point Config.ST.
+	Dist float64
+	// Values is the matched window in original units.
+	Values []float64
+	// Path is the DTW warping path: pairs of (query index, match index),
+	// the raw material of the demo's warped-points view.
+	Path [][2]int
+}
+
+// Pattern is one seasonal-query result in public form.
+type Pattern struct {
+	Series      string
+	Length      int
+	Starts      []int
+	MeanGap     float64
+	Occurrences int
+}
+
+// GroupInfo summarizes one similarity group for overview panes.
+type GroupInfo struct {
+	Length int
+	Count  int
+	// Rep is the representative shape in original units.
+	Rep []float64
+}
+
+// Recommendation re-exports a threshold suggestion.
+type Recommendation = core.Recommendation
+
+// Open normalizes (a clone of) the dataset, chooses or accepts a
+// similarity threshold, builds the ONEX base, and returns a ready DB.
+func Open(d *ts.Dataset, cfg Config) (*DB, error) {
+	if d == nil {
+		return nil, errors.New("onex: Open: nil dataset")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("onex: Open: %w", err)
+	}
+	raw := d.Clone()
+	normed := d.Clone()
+	if !cfg.KeepRaw {
+		if err := ts.NormalizeMinMax(normed); err != nil {
+			return nil, fmt.Errorf("onex: Open: %w", err)
+		}
+	}
+	if cfg.MaxLength <= 0 {
+		cfg.MaxLength = normed.MaxLen()
+	}
+	if cfg.MinLength < 2 {
+		cfg.MinLength = 2
+	}
+	if cfg.Band == 0 {
+		cfg.Band = maxInt(4, cfg.MaxLength/10)
+	}
+	if cfg.ST <= 0 {
+		recs, err := core.RecommendThresholds(normed, core.ThresholdOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("onex: Open: auto threshold: %w", err)
+		}
+		for _, r := range recs {
+			if r.Label == "balanced" {
+				cfg.ST = r.ST
+			}
+		}
+		if cfg.ST <= 0 {
+			cfg.ST = recs[len(recs)-1].ST
+		}
+	}
+	base, err := grouping.Build(normed, grouping.Options{
+		ST:        cfg.ST,
+		MinLength: cfg.MinLength,
+		MaxLength: cfg.MaxLength,
+		Workers:   cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("onex: Open: %w", err)
+	}
+	mode := core.ModeApprox
+	if cfg.Exact {
+		mode = core.ModeExact
+	}
+	engine, err := core.NewEngine(normed, base, core.Options{
+		Band:       cfg.Band,
+		Mode:       mode,
+		LengthNorm: true, // rank variable-length matches fairly
+	})
+	if err != nil {
+		return nil, fmt.Errorf("onex: Open: %w", err)
+	}
+	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg}, nil
+}
+
+// OpenFile loads a dataset file (.csv, .json, or UCR text) and opens it.
+func OpenFile(path string, cfg Config) (*DB, error) {
+	d, err := ts.LoadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("onex: OpenFile: %w", err)
+	}
+	return Open(d, cfg)
+}
+
+// LoadDataset loads a dataset file without opening a DB (for inspection or
+// generator output round-trips).
+func LoadDataset(path string) (*ts.Dataset, error) { return ts.LoadFile(path) }
+
+// Config returns the effective configuration (thresholds resolved).
+func (db *DB) Config() Config { return db.cfg }
+
+// Dataset returns the dataset in original units.
+func (db *DB) Dataset() *ts.Dataset { return db.raw }
+
+// ST returns the similarity threshold in effect (normalized units).
+func (db *DB) ST() float64 { return db.cfg.ST }
+
+// Stats describes the built base.
+type Stats struct {
+	Series          int
+	Subsequences    int
+	Groups          int
+	CompactionRatio float64
+	BuildMillis     int64
+}
+
+// Stats returns base-construction statistics.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Series:          db.normed.Len(),
+		Subsequences:    db.base.NumSubsequences(),
+		Groups:          db.base.NumGroups(),
+		CompactionRatio: db.base.CompactionRatio(),
+		BuildMillis:     db.base.BuildStats.Duration.Milliseconds(),
+	}
+}
+
+// normalizeQuery maps a query in original units into the engine's space.
+func (db *DB) normalizeQuery(q []float64) []float64 {
+	if db.cfg.KeepRaw {
+		out := make([]float64, len(q))
+		copy(out, q)
+		return out
+	}
+	span := db.normed.Norm.Max - db.normed.Norm.Min
+	out := make([]float64, len(q))
+	for i, v := range q {
+		if span == 0 {
+			out[i] = 0
+		} else {
+			out[i] = (v - db.normed.Norm.Min) / span
+		}
+	}
+	return out
+}
+
+func (db *DB) publicMatch(m core.Match) Match {
+	values, _ := ts.DenormalizeValues(db.normed, m.Ref.Series, m.Values)
+	path := make([][2]int, len(m.Path))
+	for i, st := range m.Path {
+		path[i] = [2]int{st.I, st.J}
+	}
+	return Match{
+		Series: db.normed.At(m.Ref.Series).Name,
+		Start:  m.Ref.Start,
+		Length: m.Ref.Length,
+		Dist:   m.Score, // length-normalized; comparable with Config.ST
+		Values: values,
+		Path:   path,
+	}
+}
+
+// BestMatch finds the most similar indexed subsequence to an ad-hoc query
+// given in original units.
+func (db *DB) BestMatch(q []float64) (Match, error) {
+	m, err := db.engine.BestMatch(db.normalizeQuery(q))
+	if err != nil {
+		return Match{}, err
+	}
+	return db.publicMatch(m), nil
+}
+
+// KBestMatches returns the k most similar indexed subsequences.
+func (db *DB) KBestMatches(q []float64, k int) ([]Match, error) {
+	ms, err := db.engine.KBestMatches(db.normalizeQuery(q), k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = db.publicMatch(m)
+	}
+	return out, nil
+}
+
+// BestMatchForSeries runs the demo's similarity flow: take the window
+// [start, start+length) of the named series as the query and find the most
+// similar window elsewhere (the query's own overlapping windows are
+// excluded).
+func (db *DB) BestMatchForSeries(seriesName string, start, length int) (Match, error) {
+	si := db.normed.IndexOf(seriesName)
+	if si < 0 {
+		return Match{}, fmt.Errorf("onex: unknown series %q", seriesName)
+	}
+	self := ts.SubSeq{Series: si, Start: start, Length: length}
+	if err := self.Validate(db.normed); err != nil {
+		return Match{}, fmt.Errorf("onex: BestMatchForSeries: %w", err)
+	}
+	q := self.Values(db.normed)
+	m, err := db.engine.BestMatchConstrained(q, core.QueryConstraints{ExcludeOverlap: self})
+	if err != nil {
+		return Match{}, err
+	}
+	return db.publicMatch(m), nil
+}
+
+// BestMatchOtherSeries is BestMatchForSeries but excludes the whole source
+// series, answering "which other state looks most like MA?".
+func (db *DB) BestMatchOtherSeries(seriesName string, start, length int) (Match, error) {
+	si := db.normed.IndexOf(seriesName)
+	if si < 0 {
+		return Match{}, fmt.Errorf("onex: unknown series %q", seriesName)
+	}
+	self := ts.SubSeq{Series: si, Start: start, Length: length}
+	if err := self.Validate(db.normed); err != nil {
+		return Match{}, fmt.Errorf("onex: BestMatchOtherSeries: %w", err)
+	}
+	q := self.Values(db.normed)
+	m, err := db.engine.BestMatchConstrained(q, core.QueryConstraints{
+		ExcludeSeries: map[int]bool{si: true},
+	})
+	if err != nil {
+		return Match{}, err
+	}
+	return db.publicMatch(m), nil
+}
+
+// Seasonal finds repeating patterns within one series (paper §3.3,
+// Fig 4).
+func (db *DB) Seasonal(seriesName string, minLen, maxLen, minOccurrences int) ([]Pattern, error) {
+	pats, err := db.engine.Seasonal(seriesName, core.SeasonalOptions{
+		MinLength:      minLen,
+		MaxLength:      maxLen,
+		MinOccurrences: minOccurrences,
+		Dedup:          true, // suppress sub-window duplicates across lengths
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Pattern, len(pats))
+	for i, p := range pats {
+		starts := make([]int, len(p.Occurrences))
+		for j, o := range p.Occurrences {
+			starts[j] = o.Start
+		}
+		out[i] = Pattern{
+			Series:      seriesName,
+			Length:      p.Length,
+			Starts:      starts,
+			MeanGap:     p.MeanGap,
+			Occurrences: len(p.Occurrences),
+		}
+	}
+	return out, nil
+}
+
+// Overview returns the top-k groups of the given length (length 0
+// auto-selects, k<=0 returns all), representatives in original units.
+func (db *DB) Overview(length, k int) []GroupInfo {
+	sums := db.engine.Overview(length, k)
+	out := make([]GroupInfo, len(sums))
+	for i, s := range sums {
+		rep, _ := ts.DenormalizeValues(db.normed, 0, s.Rep)
+		out[i] = GroupInfo{Length: s.Group.Length, Count: s.Count, Rep: rep}
+	}
+	return out
+}
+
+// RecommendThresholds surfaces the data-driven threshold suggestions for
+// the (normalized) dataset.
+func (db *DB) RecommendThresholds() ([]Recommendation, error) {
+	return core.RecommendThresholds(db.normed, core.ThresholdOptions{})
+}
+
+// RecommendForDataset computes threshold recommendations for a dataset
+// before opening it, in the normalized units Open will use, so the chosen
+// ST can be passed straight into Config.ST. The dataset is not modified.
+func RecommendForDataset(d *ts.Dataset) ([]Recommendation, error) {
+	if d == nil {
+		return nil, errors.New("onex: RecommendForDataset: nil dataset")
+	}
+	c := d.Clone()
+	if err := ts.NormalizeMinMax(c); err != nil {
+		return nil, fmt.Errorf("onex: RecommendForDataset: %w", err)
+	}
+	return core.RecommendThresholds(c, core.ThresholdOptions{})
+}
+
+// SeriesNames lists the dataset's series in order.
+func (db *DB) SeriesNames() []string {
+	out := make([]string, db.raw.Len())
+	for i, s := range db.raw.Series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// SeriesValues returns a copy of the named series in original units.
+func (db *DB) SeriesValues(name string) ([]float64, error) {
+	s, ok := db.raw.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("onex: unknown series %q", name)
+	}
+	out := make([]float64, s.Len())
+	copy(out, s.Values)
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
