@@ -1,0 +1,91 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func benchPair(n int) ([]float64, []float64) {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = math.Sin(float64(i) * 0.07)
+		b[i] = math.Sin(float64(i)*0.07 + 0.5)
+	}
+	return a, b
+}
+
+func BenchmarkDTW_128_Unconstrained(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTW(x, y)
+	}
+}
+
+func BenchmarkDTW_128_Band4(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTWBanded(x, y, 4)
+	}
+}
+
+func BenchmarkDTW_1024_Band16(b *testing.B) {
+	x, y := benchPair(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTWBanded(x, y, 16)
+	}
+}
+
+func BenchmarkDTWEarlyAbandon_128_TightBound(b *testing.B) {
+	x, y := benchPair(128)
+	ub := DTWBanded(x, y, 4) * 0.25
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTWEarlyAbandon(x, y, 4, ub)
+	}
+}
+
+func BenchmarkDTWSq_128_Band4(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = DTWSq(x, y, 4)
+	}
+}
+
+func BenchmarkDTWPath_128_Band4(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = DTWPath(x, y, 4)
+	}
+}
+
+func BenchmarkED_128(b *testing.B) {
+	x, y := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = ED(x, y)
+	}
+}
+
+func BenchmarkEnvelope_128_Band4(b *testing.B) {
+	x, _ := benchPair(128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _ = Envelope(x, 128, 4)
+	}
+}
+
+func BenchmarkLBKeogh_128(b *testing.B) {
+	x, y := benchPair(128)
+	u, l := Envelope(y, 128, 4)
+	ub := math.Inf(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = LBKeogh(x, u, l, ub)
+	}
+}

@@ -1,0 +1,42 @@
+package dist_test
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Example_pruningCascade shows the cascade of lower bounds the ONEX engine
+// evaluates before paying for a full DTW: LB_Kim (O(1) endpoints), then
+// LB_Keogh (O(n) against the query envelope), each a lower bound on the
+// banded DTW distance. A candidate is discarded at the first stage whose
+// bound already exceeds the best distance found so far, so most candidates
+// never reach the O(n·w) dynamic program.
+func Example_pruningCascade() {
+	query := []float64{0, 1, 2, 3, 2, 1, 0, 1}
+	candidate := []float64{0, 2, 4, 6, 4, 2, 0, 2} // same shape, double amplitude
+	const band = 2
+
+	lbKim := dist.LBKim(query, candidate)
+	upper, lower := dist.Envelope(query, len(candidate), band)
+	lbKeogh := dist.LBKeogh(candidate, upper, lower, math.Inf(1))
+	dtw := dist.DTWBanded(query, candidate, band)
+
+	fmt.Printf("LB_Kim   = %.1f\n", lbKim)
+	fmt.Printf("LB_Keogh = %.1f\n", lbKeogh)
+	fmt.Printf("DTW      = %.1f\n", dtw)
+	fmt.Println("cascade holds:", lbKim <= lbKeogh && lbKeogh <= dtw)
+
+	// With a best-so-far distance of 2.0, LB_Keogh alone proves this
+	// candidate can never win; abandoning returns +Inf without running DTW.
+	pruned := dist.LBKeogh(candidate, upper, lower, 2.0)
+	fmt.Println("pruned at LB_Keogh:", math.IsInf(pruned, 1))
+
+	// Output:
+	// LB_Kim   = 1.0
+	// LB_Keogh = 6.0
+	// DTW      = 8.0
+	// cascade holds: true
+	// pruned at LB_Keogh: true
+}

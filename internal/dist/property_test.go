@@ -1,0 +1,264 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refDTW is the obviously-correct oracle: full O(n·m) matrix, no rolling
+// rows, no abandoning. The production kernel is property-tested against it.
+func refDTW(a, b []float64, band int, squared bool) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == m {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	w := EffectiveBand(n, m, band)
+	dp := make([][]float64, n)
+	for i := range dp {
+		dp[i] = make([]float64, m)
+		for j := range dp[i] {
+			dp[i][j] = math.Inf(1)
+		}
+	}
+	cost := func(x, y float64) float64 {
+		d := math.Abs(x - y)
+		if squared {
+			return d * d
+		}
+		return d
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if i-j > w || j-i > w {
+				continue
+			}
+			c := cost(a[i], b[j])
+			switch {
+			case i == 0 && j == 0:
+				dp[i][j] = c
+			case i == 0:
+				dp[i][j] = dp[i][j-1] + c
+			case j == 0:
+				dp[i][j] = dp[i-1][j] + c
+			default:
+				best := dp[i-1][j]
+				if dp[i-1][j-1] < best {
+					best = dp[i-1][j-1]
+				}
+				if dp[i][j-1] < best {
+					best = dp[i][j-1]
+				}
+				dp[i][j] = best + c
+			}
+		}
+	}
+	return dp[n-1][m-1]
+}
+
+func randSeries(rng *rand.Rand, n int) []float64 {
+	out := make([]float64, n)
+	v := rng.Float64() * 2
+	for i := range out {
+		v += rng.NormFloat64() * 0.3
+		out[i] = v
+	}
+	return out
+}
+
+var propertyBands = []int{-1, 0, 1, 3, 10}
+
+// The acceptance property: the rolling-row kernel equals the brute-force
+// DP reference for every band, and DTW == DTWBanded(-1).
+func TestPropertyDTWMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		a := randSeries(rng, 2+rng.Intn(40))
+		b := randSeries(rng, 2+rng.Intn(40))
+		for _, band := range propertyBands {
+			got := DTWBanded(a, b, band)
+			want := refDTW(a, b, band, false)
+			if !almost(got, want, 1e-9) {
+				t.Fatalf("trial %d band %d: DTWBanded %g != reference %g (lens %d, %d)",
+					trial, band, got, want, len(a), len(b))
+			}
+			gotSq := DTWSq(a, b, band)
+			wantSq := refDTW(a, b, band, true)
+			if !almost(gotSq, wantSq, 1e-9) {
+				t.Fatalf("trial %d band %d: DTWSq %g != reference %g", trial, band, gotSq, wantSq)
+			}
+		}
+		if un, full := DTW(a, b), DTWBanded(a, b, -1); un != full {
+			t.Fatalf("trial %d: DTW %g != DTWBanded(-1) %g", trial, un, full)
+		}
+	}
+}
+
+// The cascade invariant: LBKim <= LBKeogh <= DTWBanded for every band and
+// every length combination, with the envelope projected onto the
+// candidate's length.
+func TestPropertyCascadeInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		q := randSeries(rng, 2+rng.Intn(40))
+		c := randSeries(rng, 2+rng.Intn(40))
+		for _, band := range propertyBands {
+			kim := LBKim(q, c)
+			u, l := Envelope(q, len(c), band)
+			keogh := LBKeogh(c, u, l, math.Inf(1))
+			dtw := DTWBanded(q, c, band)
+			if kim > keogh+1e-9 {
+				t.Fatalf("trial %d band %d: LBKim %g > LBKeogh %g", trial, band, kim, keogh)
+			}
+			if keogh > dtw+1e-9 {
+				t.Fatalf("trial %d band %d: LBKeogh %g > DTW %g (lens %d, %d)",
+					trial, band, keogh, dtw, len(q), len(c))
+			}
+		}
+	}
+}
+
+// Early abandoning must be sound (abandon only when the true distance
+// exceeds the bound) and exact when it does not abandon.
+func TestPropertyEarlyAbandonSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		a := randSeries(rng, 2+rng.Intn(30))
+		b := randSeries(rng, 2+rng.Intn(30))
+		band := propertyBands[rng.Intn(len(propertyBands))]
+		exact := refDTW(a, b, band, false)
+		ub := exact * rng.Float64() * 1.5 // both below and above the true distance
+		got := DTWEarlyAbandon(a, b, band, ub)
+		if math.IsInf(got, 1) {
+			if exact <= ub {
+				t.Fatalf("trial %d: abandoned although exact %g <= ub %g", trial, exact, ub)
+			}
+		} else if !almost(got, exact, 1e-9) {
+			t.Fatalf("trial %d: early abandon returned %g, exact %g", trial, got, exact)
+		}
+		// Same for the ED variant.
+		if len(a) == len(b) {
+			e := ED(a, b)
+			gotED := EDEarlyAbandon(a, b, ub)
+			if math.IsInf(gotED, 1) {
+				if e <= ub {
+					t.Fatalf("trial %d: ED abandoned although %g <= ub %g", trial, e, ub)
+				}
+			} else if !almost(gotED, e, 1e-9) {
+				t.Fatalf("trial %d: EDEarlyAbandon %g != ED %g", trial, gotED, e)
+			}
+		}
+	}
+}
+
+// DTWPath must return the DTWBanded distance and a valid, in-band path
+// whose re-priced cost equals the distance.
+func TestPropertyDTWPathConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 150; trial++ {
+		a := randSeries(rng, 2+rng.Intn(25))
+		b := randSeries(rng, 2+rng.Intn(25))
+		band := propertyBands[rng.Intn(len(propertyBands))]
+		d, path := DTWPath(a, b, band)
+		if !almost(d, DTWBanded(a, b, band), 1e-9) {
+			t.Fatalf("trial %d: path dist %g != DTWBanded %g", trial, d, DTWBanded(a, b, band))
+		}
+		if !path.Valid(len(a), len(b)) {
+			t.Fatalf("trial %d: invalid path", trial)
+		}
+		w := EffectiveBand(len(a), len(b), band)
+		sum := 0.0
+		for _, s := range path {
+			if s.I-s.J > w || s.J-s.I > w {
+				t.Fatalf("trial %d: step %v outside band %d", trial, s, w)
+			}
+			sum += math.Abs(a[s.I] - b[s.J])
+		}
+		if !almost(sum, d, 1e-9) {
+			t.Fatalf("trial %d: path cost %g != dist %g", trial, sum, d)
+		}
+		if mu := path.MaxMultiplicityJ(); mu < 1 || mu > 2*w+1 {
+			t.Fatalf("trial %d: MaxMultiplicityJ %d outside [1, %d]", trial, mu, 2*w+1)
+		}
+	}
+}
+
+// Envelope containment: away from the pinned corners, every query value a
+// banded path could align with position j lies inside [lower[j], upper[j]].
+func TestPropertyEnvelopeContainsAligned(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 150; trial++ {
+		q := randSeries(rng, 2+rng.Intn(30))
+		outLen := 2 + rng.Intn(30)
+		band := propertyBands[rng.Intn(len(propertyBands))]
+		u, l := Envelope(q, outLen, band)
+		w := EffectiveBand(len(q), outLen, band)
+		for j := 1; j < outLen-1; j++ {
+			for i := 0; i < len(q); i++ {
+				if i-j > w || j-i > w {
+					continue
+				}
+				if q[i] > u[j]+1e-12 || q[i] < l[j]-1e-12 {
+					t.Fatalf("trial %d: q[%d]=%g outside envelope [%g, %g] at j=%d (w=%d)",
+						trial, i, q[i], l[j], u[j], j, w)
+				}
+			}
+		}
+		// Pinned corners carry the exact endpoint values.
+		if u[0] != q[0] || l[0] != q[0] || u[outLen-1] != q[len(q)-1] || l[outLen-1] != q[len(q)-1] {
+			t.Fatalf("trial %d: corners not pinned", trial)
+		}
+	}
+}
+
+// The transfer-bound ingredient the engine relies on: for same-length
+// candidates, DTW(q, s) <= DTW(q, rep) + mu * ED(rep, s), with mu the
+// rep-side multiplicity of the optimal (q, rep) path.
+func TestPropertyTransferBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 150; trial++ {
+		q := randSeries(rng, 2+rng.Intn(20))
+		rep := randSeries(rng, 2+rng.Intn(20))
+		s := make([]float64, len(rep))
+		for i := range s {
+			s[i] = rep[i] + rng.NormFloat64()*0.1
+		}
+		band := []int{-1, 3}[rng.Intn(2)]
+		dqr, path := DTWPath(q, rep, band)
+		mu := float64(path.MaxMultiplicityJ())
+		bound := dqr + mu*ED(rep, s)
+		if got := DTWBanded(q, s, band); got > bound+1e-9 {
+			t.Fatalf("trial %d: DTW(q,s) %g > transfer bound %g", trial, got, bound)
+		}
+	}
+}
+
+// Resample is exact on linear ramps, preserves endpoints, and never leaves
+// the input's value range.
+func TestPropertyResample(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		in := randSeries(rng, 2+rng.Intn(40))
+		n := 2 + rng.Intn(40)
+		out := Resample(in, n)
+		if len(out) != n {
+			t.Fatalf("trial %d: len %d != %d", trial, len(out), n)
+		}
+		if !almost(out[0], in[0], 1e-12) || !almost(out[n-1], in[len(in)-1], 1e-12) {
+			t.Fatalf("trial %d: endpoints not preserved", trial)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range in {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		for i, v := range out {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				t.Fatalf("trial %d: out[%d]=%g outside input range [%g, %g]", trial, i, v, lo, hi)
+			}
+		}
+	}
+}
