@@ -6,9 +6,13 @@
 //
 //	onex gen       -kind matters -indicator GrowthRate -out growth.csv
 //	onex build     -data growth.csv -out growth.base [-st 0.1 -minlen 4 -maxlen 12]
-//	onex query     -data growth.csv -series MA -start 0 -len 12 [-exclude-source]
+//	onex query     -data growth.csv -series MA -start 0 -len 12 [-k 5] [-exclude-source] [-mode exact] [-stats]
 //	onex query     -data growth.csv -base growth.base -series MA -len 12   # reuse base
-//	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05
+//	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05 [-stats]
+//
+// query and range both map their flags onto the library's unified
+// onex.Query and run it through DB.Find; Ctrl-C cancels a long search.
+//
 //	onex seasonal  -data power.csv -series household-00 -minlen 12 -maxlen 12
 //	onex recommend -data growth.csv
 //	onex overview  -data growth.csv [-length 8 -k 12]
@@ -16,10 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/dist"
@@ -196,6 +202,12 @@ func cmdBuild(args []string) error {
 	return nil
 }
 
+// queryContext returns a context cancelled by Ctrl-C, so long exact-mode
+// scans abort promptly instead of running to completion.
+func queryContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
 func cmdRange(args []string) error {
 	fs := flag.NewFlagSet("range", flag.ExitOnError)
 	of := addOpenFlags(fs)
@@ -204,28 +216,36 @@ func cmdRange(args []string) error {
 	length := fs.Int("len", 0, "query window length (required)")
 	maxDist := fs.Float64("maxdist", 0.1, "inclusive distance threshold (normalized per-point units)")
 	limit := fs.Int("limit", 20, "maximum matches to print (0 = all)")
+	stats := fs.Bool("stats", false, "print search statistics after the results")
 	_ = fs.Parse(args)
 	if *series == "" || *length <= 0 {
 		return fmt.Errorf("range: -series and -len are required")
+	}
+	if *maxDist <= 0 {
+		return fmt.Errorf("range: -maxdist must be > 0")
 	}
 	db, err := of.open()
 	if err != nil {
 		return err
 	}
-	vals, err := db.SeriesValues(*series)
+	ctx, stop := queryContext()
+	defer stop()
+	// Range scans are always certified-exact, so there is no -mode here.
+	res, err := db.Find(ctx, onex.Query{
+		Window:  onex.Window{Series: *series, Start: *start, Length: *length},
+		MaxDist: *maxDist,
+		K:       *limit,
+	})
 	if err != nil {
 		return err
 	}
-	if *start < 0 || *start+*length > len(vals) {
-		return fmt.Errorf("range: window [%d,%d) out of range for %s", *start, *start+*length, *series)
-	}
-	ms, err := db.WithinThreshold(vals[*start:*start+*length], *maxDist, *limit)
-	if err != nil {
-		return err
-	}
+	ms := res.Matches
 	fmt.Fprintf(stdout, "%d matches within %.4f of %s[%d:%d):\n", len(ms), *maxDist, *series, *start, *start+*length)
 	for i, m := range ms {
 		fmt.Fprintf(stdout, "  #%-3d %s[%d:%d)  DTW=%.6f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.Dist)
+	}
+	if *stats {
+		printStats(res.Stats)
 	}
 	return nil
 }
@@ -236,7 +256,10 @@ func cmdQuery(args []string) error {
 	series := fs.String("series", "", "query series name (required)")
 	start := fs.Int("start", 0, "query window start")
 	length := fs.Int("len", 0, "query window length (required)")
+	k := fs.Int("k", 1, "number of matches to return")
 	excludeSource := fs.Bool("exclude-source", false, "exclude the whole source series")
+	mode := fs.String("mode", "", "per-query mode override: approx|exact (default: as opened)")
+	stats := fs.Bool("stats", false, "print search statistics after the results")
 	_ = fs.Parse(args)
 	if *series == "" || *length <= 0 {
 		return fmt.Errorf("query: -series and -len are required")
@@ -245,20 +268,42 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
-	var m onex.Match
-	if *excludeSource {
-		m, err = db.BestMatchOtherSeries(*series, *start, *length)
-	} else {
-		m, err = db.BestMatchForSeries(*series, *start, *length)
+	q := onex.Query{
+		Window:  onex.Window{Series: *series, Start: *start, Length: *length},
+		K:       *k,
+		Exclude: onex.Exclude{Self: true},
+		Mode:    onex.QueryMode(*mode),
 	}
+	if *excludeSource {
+		q.Exclude = onex.Exclude{Series: []string{*series}}
+	}
+	ctx, stop := queryContext()
+	defer stop()
+	res, err := db.Find(ctx, q)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "query:  %s[%d:%d)\n", *series, *start, *start+*length)
-	fmt.Fprintf(stdout, "match:  %s[%d:%d)\n", m.Series, m.Start, m.Start+m.Length)
-	fmt.Fprintf(stdout, "DTW:    %.6f (normalized units; ST = %.6f)\n", m.Dist, db.ST())
-	fmt.Fprintf(stdout, "values: %s\n", formatValues(m.Values, 8))
+	if len(res.Matches) == 1 {
+		m := res.Matches[0]
+		fmt.Fprintf(stdout, "match:  %s[%d:%d)\n", m.Series, m.Start, m.Start+m.Length)
+		fmt.Fprintf(stdout, "DTW:    %.6f (normalized units; ST = %.6f)\n", m.Dist, db.ST())
+		fmt.Fprintf(stdout, "values: %s\n", formatValues(m.Values, 8))
+	} else {
+		for i, m := range res.Matches {
+			fmt.Fprintf(stdout, "  #%-3d %s[%d:%d)  DTW=%.6f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.Dist)
+		}
+	}
+	if *stats {
+		printStats(res.Stats)
+	}
 	return nil
+}
+
+func printStats(st onex.QueryStats) {
+	fmt.Fprintf(stdout, "stats:  %d groups (%d pruned, %d refined), %d candidates, %d DTWs, %.3f ms\n",
+		st.Groups, st.GroupsPruned, st.GroupsRefined, st.Candidates, st.DTWs,
+		float64(st.WallMicros)/1000)
 }
 
 func cmdSeasonal(args []string) error {

@@ -114,6 +114,43 @@ func TestCmdBuildQueryRangeFlow(t *testing.T) {
 	}
 }
 
+func TestCmdQueryUnifiedFlags(t *testing.T) {
+	dir := t.TempDir()
+	data := genGrowth(t, dir)
+	open := []string{"-data", data, "-minlen", "4", "-maxlen", "9"}
+
+	// -k > 1 switches to list output.
+	multi := capture(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-k", "3"))
+	if strings.Count(multi, "#") < 2 {
+		t.Fatalf("-k 3 did not list matches:\n%s", multi)
+	}
+
+	// -stats surfaces the search counters.
+	st := capture(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-stats"))
+	if !strings.Contains(st, "stats:") || !strings.Contains(st, "DTWs") {
+		t.Fatalf("-stats output missing counters:\n%s", st)
+	}
+
+	// -mode exact runs the certified search; it must still answer.
+	ex := capture(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-mode", "exact"))
+	if !strings.Contains(ex, "match:") {
+		t.Fatalf("-mode exact output:\n%s", ex)
+	}
+	// Bogus mode is rejected.
+	if err := captureErr(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-mode", "bogus")); err == nil {
+		t.Fatal("bogus -mode accepted")
+	}
+
+	// range -stats works and -maxdist must be positive.
+	rs := capture(t, cmdRange, append(open, "-series", "MA", "-len", "8", "-maxdist", "0.1", "-stats"))
+	if !strings.Contains(rs, "matches within") || !strings.Contains(rs, "stats:") {
+		t.Fatalf("range -stats output:\n%s", rs)
+	}
+	if err := captureErr(t, cmdRange, append(open, "-series", "MA", "-len", "8", "-maxdist", "0")); err == nil {
+		t.Fatal("-maxdist 0 accepted")
+	}
+}
+
 func TestCmdSeasonalRecommendOverview(t *testing.T) {
 	dir := t.TempDir()
 	power := filepath.Join(dir, "power.csv")

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+)
+
+// FindOptions is the fully-resolved specification of one Find call. The
+// embedded Options (Band, Mode, LengthNorm) override the engine's
+// construction-time configuration for this call only; callers resolve
+// defaults before invoking Find.
+type FindOptions struct {
+	Options
+	// K requests the top-K matches in best-match mode (values < 1 are
+	// treated as 1). In range mode K caps the number of returned matches
+	// (0 = unlimited), mirroring RangeOptions.Limit.
+	K int
+	// Range switches from top-K to within-threshold semantics: return
+	// every candidate whose score is at most MaxDist.
+	Range bool
+	// MaxDist is the inclusive score threshold for range mode.
+	MaxDist float64
+	// Constraints narrow the candidate set in either mode.
+	Constraints QueryConstraints
+}
+
+// FindResult bundles one Find call's matches with the work statistics the
+// search accumulated.
+type FindResult struct {
+	Matches []Match
+	Stats   SearchStats
+}
+
+// Find is the unified, context-aware similarity entry point: one call
+// covers best-match, top-K, and range ("within threshold") queries, with
+// per-call Band/Mode/LengthNorm overrides. Cancellation is honoured
+// between pruning rounds — once per candidate group and every
+// ctxCheckStride members inside a group — so long exact-mode scans abort
+// promptly with ctx.Err().
+func (e *Engine) Find(ctx context.Context, q []float64, fo FindOptions) (FindResult, error) {
+	var st SearchStats
+	if fo.Range {
+		ms, err := e.withinThreshold(ctx, q, RangeOptions{
+			MaxDist:     fo.MaxDist,
+			Constraints: fo.Constraints,
+			Limit:       fo.K,
+		}, fo.Options, &st)
+		return FindResult{Matches: ms, Stats: st}, err
+	}
+	k := fo.K
+	if k < 1 {
+		k = 1
+	}
+	ms, err := e.search(ctx, q, k, fo.Constraints, fo.Options, &st)
+	return FindResult{Matches: ms, Stats: st}, err
+}
+
+// DTWs returns the total number of DTW dynamic programs started
+// (representatives plus members).
+func (s SearchStats) DTWs() int { return s.RepDTW + s.MemberDTW }

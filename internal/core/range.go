@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -29,6 +30,14 @@ type RangeOptions struct {
 // skipped only when the certified transfer bound proves every member lies
 // beyond the threshold.
 func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error) {
+	return e.withinThreshold(context.Background(), q, opts, e.opts, nil)
+}
+
+// withinThreshold is WithinThreshold with an explicit context, per-call
+// engine options, and optional statistics collection. The context is
+// checked once per group and every ctxCheckStride members, so cancelled
+// range scans abort within one pruning round.
+func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOptions, callOpts Options, st *SearchStats) ([]Match, error) {
 	if len(q) < 2 {
 		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
 	}
@@ -45,19 +54,38 @@ func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error
 		if len(groups) == 0 {
 			continue
 		}
-		norm := e.norm(len(q), l)
+		norm := callOpts.norm(len(q), l)
 		rawMax := opts.MaxDist * norm
-		qU, qL := dist.Envelope(q, l, e.opts.Band)
-		w := dist.EffectiveBand(len(q), l, e.opts.Band)
+		qU, qL := dist.Envelope(q, l, callOpts.Band)
+		w := dist.EffectiveBand(len(q), l, callOpts.Band)
 		slack := float64(2*w+1) * e.base.HalfST(l)
 		for gi, g := range groups {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if st != nil {
+				st.Groups++
+				st.RepDTW++
+			}
 			// Certified skip: if DTW(q, rep) - slack > rawMax then every
 			// member is provably outside the threshold.
-			repDist := dist.DTWEarlyAbandon(q, g.Rep, e.opts.Band, rawMax+slack)
+			repDist := dist.DTWEarlyAbandon(q, g.Rep, callOpts.Band, rawMax+slack)
 			if math.IsInf(repDist, 1) {
+				if st != nil {
+					st.GroupsLBPruned++
+				}
 				continue
 			}
-			for _, m := range g.Members {
+			if st != nil {
+				st.GroupsRefined++
+				st.Members += len(g.Members)
+			}
+			for mi, m := range g.Members {
+				if mi%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				if opts.Constraints.excludes(m) {
 					continue
 				}
@@ -68,7 +96,10 @@ func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error
 				if dist.LBKeogh(mv, qU, qL, rawMax) > rawMax {
 					continue
 				}
-				d := dist.DTWEarlyAbandon(q, mv, e.opts.Band, rawMax)
+				if st != nil {
+					st.MemberDTW++
+				}
+				d := dist.DTWEarlyAbandon(q, mv, callOpts.Band, rawMax)
 				// Early abandoning may return a finite value above the
 				// bound when no full DP row exceeded it; filter explicitly.
 				if math.IsInf(d, 1) || d > rawMax {
@@ -90,5 +121,5 @@ func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error
 		out = out[:opts.Limit]
 	}
 	// Paths only for the returned set.
-	return e.finishMatches(q, out), nil
+	return e.finishMatches(q, out, callOpts), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -9,6 +10,10 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/ts"
 )
+
+// ctxCheckStride bounds how many group members are scanned between two
+// context-cancellation checks inside the refinement loops.
+const ctxCheckStride = 64
 
 // QueryConstraints narrows a similarity search.
 type QueryConstraints struct {
@@ -62,6 +67,14 @@ func (e *Engine) KBestMatches(q []float64, k int) ([]Match, error) {
 // the certified transfer bound and refine all survivors; the result is the
 // true DTW top-k over every indexed candidate.
 func (e *Engine) KBestMatchesConstrained(q []float64, k int, c QueryConstraints) ([]Match, error) {
+	return e.search(context.Background(), q, k, c, e.opts, nil)
+}
+
+// search is the shared top-k entry point: it validates the query, resolves
+// candidate lengths, and dispatches on the per-call mode. It honours ctx
+// cancellation between pruning rounds (per group and per member batch) and
+// returns ctx.Err() when the caller gave up.
+func (e *Engine) search(ctx context.Context, q []float64, k int, c QueryConstraints, opts Options, st *SearchStats) ([]Match, error) {
 	if len(q) < 2 {
 		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
 	}
@@ -72,11 +85,11 @@ func (e *Engine) KBestMatchesConstrained(q []float64, k int, c QueryConstraints)
 	if len(lengths) == 0 {
 		return nil, ErrNoMatch
 	}
-	switch e.opts.Mode {
+	switch opts.Mode {
 	case ModeExact:
-		return e.kbestExact(q, k, c, lengths)
+		return e.kbestExact(ctx, q, k, c, lengths, opts, st)
 	default:
-		return e.kbestApprox(q, k, c, lengths)
+		return e.kbestApprox(ctx, q, k, c, lengths, opts, st)
 	}
 }
 
@@ -98,9 +111,9 @@ func (e *Engine) candidateLengths(c QueryConstraints) []int {
 }
 
 // norm returns the score divisor for candidates of length l: 1 for raw
-// ranking, max(len(q), l) for length-normalized ranking.
-func (e *Engine) norm(qlen, l int) float64 {
-	if !e.opts.LengthNorm {
+// ranking, max(qlen, l) for length-normalized ranking.
+func (o Options) norm(qlen, l int) float64 {
+	if !o.LengthNorm {
 		return 1
 	}
 	if qlen > l {
@@ -122,8 +135,10 @@ type repCandidate struct {
 // of the candidate lengths, with an LB_Kim + LB_Keogh + early-abandon
 // cascade against the running k-th best representative score. Groups whose
 // representative provably cannot enter the top-k are returned with
-// repDist = +Inf. st, when non-nil, accumulates search statistics.
-func (e *Engine) scoreRepresentatives(q []float64, k int, lengths []int, st *SearchStats) []repCandidate {
+// repDist = +Inf. st, when non-nil, accumulates search statistics. The
+// context is checked once per group, so a cancelled scan aborts before the
+// next representative is scored.
+func (e *Engine) scoreRepresentatives(ctx context.Context, q []float64, k int, lengths []int, opts Options, st *SearchStats) ([]repCandidate, error) {
 	var cands []repCandidate
 	// kth tracks the k-th best representative score seen so far; the raw
 	// abandon bound per length is score bound * norm.
@@ -133,12 +148,15 @@ func (e *Engine) scoreRepresentatives(q []float64, k int, lengths []int, st *Sea
 		if len(groups) == 0 {
 			continue
 		}
-		norm := e.norm(len(q), l)
+		norm := opts.norm(len(q), l)
 		// One query envelope per candidate length: upper[j]/lower[j] bound
 		// q over the band window around rep position j, giving
 		// LBKeogh(rep, qU, qL) <= DTW(q, rep).
-		qU, qL := dist.Envelope(q, l, e.opts.Band)
+		qU, qL := dist.Envelope(q, l, opts.Band)
 		for gi, g := range groups {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if st != nil {
 				st.Groups++
 			}
@@ -158,7 +176,13 @@ func (e *Engine) scoreRepresentatives(q []float64, k int, lengths []int, st *Sea
 				if st != nil {
 					st.RepDTW++
 				}
-				repDist = dist.DTWEarlyAbandon(q, g.Rep, e.opts.Band, ub)
+				repDist = dist.DTWEarlyAbandon(q, g.Rep, opts.Band, ub)
+				if st != nil && math.IsInf(repDist, 1) {
+					// Abandoned against the k-th best bound: the group is
+					// pruned exactly like an LB rejection (and un-counted
+					// if a fallback later recomputes it).
+					st.GroupsLBPruned++
+				}
 			}
 			score := repDist / norm
 			if !math.IsInf(repDist, 1) {
@@ -173,18 +197,16 @@ func (e *Engine) scoreRepresentatives(q []float64, k int, lengths []int, st *Sea
 			})
 		}
 	}
-	return cands
+	return cands, nil
 }
 
 // kbestApprox implements the paper's search: pick the top-k groups by
 // representative score, then take the best members inside them.
-func (e *Engine) kbestApprox(q []float64, k int, c QueryConstraints, lengths []int) ([]Match, error) {
-	return e.kbestApproxStats(q, k, c, lengths, nil)
-}
-
-// kbestApproxStats is kbestApprox with optional statistics collection.
-func (e *Engine) kbestApproxStats(q []float64, k int, c QueryConstraints, lengths []int, st *SearchStats) ([]Match, error) {
-	cands := e.scoreRepresentatives(q, k, lengths, st)
+func (e *Engine) kbestApprox(ctx context.Context, q []float64, k int, c QueryConstraints, lengths []int, opts Options, st *SearchStats) ([]Match, error) {
+	cands, err := e.scoreRepresentatives(ctx, q, k, lengths, opts, st)
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
 
 	// Refine within the most promising groups. To fill k results we may
@@ -202,7 +224,9 @@ func (e *Engine) kbestApproxStats(q []float64, k int, c QueryConstraints, length
 			// (heuristic: members can score below their representative).
 			break
 		}
-		e.refineGroup(q, cand, c, top, st)
+		if err := e.refineGroup(ctx, q, cand, c, top, opts, st); err != nil {
+			return nil, err
+		}
 	}
 	// Constraints may have excluded every member of the promising groups;
 	// fall back to the groups whose representatives were LB-pruned during
@@ -212,30 +236,52 @@ func (e *Engine) kbestApproxStats(q []float64, k int, c QueryConstraints, length
 			if !math.IsInf(cands[i].repDist, 1) {
 				continue
 			}
-			cands[i].repDist = dist.DTWBanded(q, cands[i].g.Rep, e.opts.Band)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if st != nil {
+				// The group is un-pruned after all: keep the pruned/refined
+				// counters disjoint.
+				st.GroupsLBPruned--
+				st.RepDTW++
+			}
+			cands[i].repDist = dist.DTWBanded(q, cands[i].g.Rep, opts.Band)
 			cands[i].repScore = cands[i].repDist / cands[i].norm
-			e.refineGroup(q, cands[i], c, top, st)
+			if err := e.refineGroup(ctx, q, cands[i], c, top, opts, st); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if top.len() == 0 {
 		return nil, ErrNoMatch
 	}
-	return e.finishMatches(q, top.sorted()), nil
+	return e.finishMatches(q, top.sorted(), opts), nil
 }
 
 // kbestExact prunes groups with the certified transfer bound and refines
 // every survivor; the result is the true top-k.
-func (e *Engine) kbestExact(q []float64, k int, c QueryConstraints, lengths []int) ([]Match, error) {
-	cands := e.scoreRepresentatives(q, math.MaxInt32, lengths, nil) // no rep pruning in exact mode
+func (e *Engine) kbestExact(ctx context.Context, q []float64, k int, c QueryConstraints, lengths []int, opts Options, st *SearchStats) ([]Match, error) {
+	cands, err := e.scoreRepresentatives(ctx, q, math.MaxInt32, lengths, opts, st) // no rep pruning in exact mode
+	if err != nil {
+		return nil, err
+	}
 	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
 
 	top := newTopK(k)
 	for _, cand := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if math.IsInf(cand.repDist, 1) {
-			// scoreRepresentatives with k=MaxInt32 never abandons, so this
-			// only happens for genuinely infinite distances (impossible);
-			// treat defensively as unpruned.
-			cand.repDist = dist.DTWBanded(q, cand.g.Rep, e.opts.Band)
+			// The kth tracker saturates at 1024, so on large bases a tail
+			// of representatives is LB-abandoned even in exact mode;
+			// recompute them so the certified bound below sees a true
+			// distance, and un-count the prune.
+			if st != nil {
+				st.GroupsLBPruned--
+				st.RepDTW++
+			}
+			cand.repDist = dist.DTWBanded(q, cand.g.Rep, opts.Band)
 			cand.repScore = cand.repDist / cand.norm
 		}
 		if top.full() {
@@ -243,31 +289,42 @@ func (e *Engine) kbestExact(q []float64, k int, c QueryConstraints, lengths []in
 			// DTW(q,s) >= DTW(q,rep) - mu*ED(rep,s) >= repDist - mu*ST_l/2,
 			// where mu is bounded by the band geometry of the (q,s) grid
 			// and ST_l is the absolute threshold at this group's length.
-			w := dist.EffectiveBand(len(q), cand.g.Length, e.opts.Band)
+			w := dist.EffectiveBand(len(q), cand.g.Length, opts.Band)
 			mu := float64(2*w + 1)
 			lower := (cand.repDist - mu*e.base.HalfST(cand.g.Length)) / cand.norm
 			if lower > top.worst().Score {
+				if st != nil {
+					st.GroupsLBPruned++
+				}
 				continue // provably cannot improve the top-k
 			}
 		}
-		e.refineGroup(q, cand, c, top, nil)
+		if err := e.refineGroup(ctx, q, cand, c, top, opts, st); err != nil {
+			return nil, err
+		}
 	}
 	if top.len() == 0 {
 		return nil, ErrNoMatch
 	}
-	return e.finishMatches(q, top.sorted()), nil
+	return e.finishMatches(q, top.sorted(), opts), nil
 }
 
 // refineGroup scans a group's members with an LB cascade and early-abandon
-// DTW, offering improvements to the top-k accumulator.
-func (e *Engine) refineGroup(q []float64, cand repCandidate, c QueryConstraints, top *topK, st *SearchStats) {
+// DTW, offering improvements to the top-k accumulator. The context is
+// re-checked every ctxCheckStride members so large groups abandon promptly.
+func (e *Engine) refineGroup(ctx context.Context, q []float64, cand repCandidate, c QueryConstraints, top *topK, opts Options, st *SearchStats) error {
 	l := cand.g.Length
-	qU, qL := dist.Envelope(q, l, e.opts.Band)
+	qU, qL := dist.Envelope(q, l, opts.Band)
 	if st != nil {
 		st.GroupsRefined++
 		st.Members += len(cand.g.Members)
 	}
-	for _, m := range cand.g.Members {
+	for mi, m := range cand.g.Members {
+		if mi%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if c.excludes(m) {
 			continue
 		}
@@ -285,7 +342,7 @@ func (e *Engine) refineGroup(q []float64, cand repCandidate, c QueryConstraints,
 		if st != nil {
 			st.MemberDTW++
 		}
-		d := dist.DTWEarlyAbandon(q, mv, e.opts.Band, ub)
+		d := dist.DTWEarlyAbandon(q, mv, opts.Band, ub)
 		if math.IsInf(d, 1) {
 			continue
 		}
@@ -298,13 +355,14 @@ func (e *Engine) refineGroup(q []float64, cand repCandidate, c QueryConstraints,
 			Group:   cand.ref,
 		})
 	}
+	return nil
 }
 
 // finishMatches fills in warping paths (presentation data) for the final
 // result set only, so inner loops never pay the full-matrix cost.
-func (e *Engine) finishMatches(q []float64, ms []Match) []Match {
+func (e *Engine) finishMatches(q []float64, ms []Match, opts Options) []Match {
 	for i := range ms {
-		_, path := dist.DTWPath(q, ms[i].Values, e.opts.Band)
+		_, path := dist.DTWPath(q, ms[i].Values, opts.Band)
 		ms[i].Path = path
 	}
 	return ms

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -52,8 +53,11 @@ func (e *Engine) SimilaritySweep(q []float64, thresholds []float64, c QueryConst
 type SearchStats struct {
 	// Groups is the number of candidate groups considered.
 	Groups int
-	// GroupsLBPruned is how many were dropped by the LB cascade before any
-	// representative DTW.
+	// GroupsLBPruned is how many groups were skipped without a member
+	// scan: by the LB cascade, by an early-abandoned representative DTW,
+	// or by the certified transfer bound / threshold slack (exact and
+	// range). A group later revisited by a fallback recompute is
+	// un-counted, so the tally stays disjoint from GroupsRefined.
 	GroupsLBPruned int
 	// RepDTW is the number of representative DTW evaluations started.
 	RepDTW int
@@ -78,7 +82,7 @@ func (e *Engine) BestMatchWithStats(q []float64, c QueryConstraints) (Match, Sea
 	if len(lengths) == 0 {
 		return Match{}, st, ErrNoMatch
 	}
-	ms, err := e.kbestApproxStats(q, 1, c, lengths, &st)
+	ms, err := e.kbestApprox(context.Background(), q, 1, c, lengths, e.opts, &st)
 	if err != nil {
 		return Match{}, st, err
 	}

@@ -71,8 +71,14 @@ func TestBestMatchWithStats(t *testing.T) {
 	if st.Groups == 0 {
 		t.Fatal("no groups counted")
 	}
-	if st.RepDTW+st.GroupsLBPruned > st.Groups {
+	// Pruned and refined are disjoint tallies over the candidate groups
+	// (an abandoned representative DTW counts as both a DTW started and a
+	// prune, so RepDTW overlaps with GroupsLBPruned).
+	if st.GroupsLBPruned+st.GroupsRefined > st.Groups {
 		t.Fatalf("impossible stats: %+v", st)
+	}
+	if st.RepDTW == 0 {
+		t.Fatalf("no representative DTW counted: %+v", st)
 	}
 	if st.GroupsRefined == 0 || st.Members == 0 {
 		t.Fatalf("refinement not counted: %+v", st)

@@ -1,0 +1,217 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/onex"
+)
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+func decodeMatches(t *testing.T, raw []byte) []onex.Match {
+	t.Helper()
+	var ms []onex.Match
+	if err := json.Unmarshal(raw, &ms); err != nil {
+		t.Fatalf("decode matches: %v (%s)", err, raw)
+	}
+	return ms
+}
+
+func decodeResult(t *testing.T, raw []byte) onex.Result {
+	t.Helper()
+	var res onex.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatalf("decode result: %v (%s)", err, raw)
+	}
+	return res
+}
+
+func requireSameMatches(t *testing.T, label string, legacy, unified []onex.Match) {
+	t.Helper()
+	if len(legacy) != len(unified) {
+		t.Fatalf("%s: legacy %d matches, unified %d", label, len(legacy), len(unified))
+	}
+	for i := range legacy {
+		l, u := legacy[i], unified[i]
+		if l.Series != u.Series || l.Start != u.Start || l.Length != u.Length {
+			t.Fatalf("%s: match %d differs: %+v vs %+v", label, i, l, u)
+		}
+		if math.Abs(l.Dist-u.Dist) > 1e-12 {
+			t.Fatalf("%s: match %d dist %g vs %g", label, i, l.Dist, u.Dist)
+		}
+	}
+}
+
+// TestUnifiedQueryParity answers the same similarity and range fixtures
+// through the legacy routes and the unified /api/v1 query endpoint and
+// requires identical matches.
+func TestUnifiedQueryParity(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+
+	// Window similarity (self-overlap excluded), legacy vs unified.
+	resp, raw := postJSON(t, hts.URL+"/api/datasets/growth/query/similarity",
+		QueryRequest{Series: "MA", Start: 0, Length: 8})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy similarity status = %d: %s", resp.StatusCode, raw)
+	}
+	legacy := decodeMatches(t, raw)
+
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window:  onex.Window{Series: "MA", Start: 0, Length: 8},
+		Exclude: onex.Exclude{Self: true},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unified query status = %d: %s", resp.StatusCode, raw)
+	}
+	res := decodeResult(t, raw)
+	requireSameMatches(t, "similarity", legacy, res.Matches)
+	if res.Query.Mode != onex.ModeApprox || res.Query.K != 1 {
+		t.Fatalf("unified response lacks resolved query: %+v", res.Query)
+	}
+	if res.Stats.Groups <= 0 || res.Stats.DTWs <= 0 {
+		t.Fatalf("unified response lacks stats: %+v", res.Stats)
+	}
+
+	// Exclude-source variant.
+	resp, raw = postJSON(t, hts.URL+"/api/datasets/growth/query/similarity",
+		QueryRequest{Series: "MA", Start: 0, Length: 8, ExcludeSource: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy exclude-source status = %d", resp.StatusCode)
+	}
+	legacy = decodeMatches(t, raw)
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window:  onex.Window{Series: "MA", Start: 0, Length: 8},
+		Exclude: onex.Exclude{Series: []string{"MA"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unified exclude-source status = %d: %s", resp.StatusCode, raw)
+	}
+	requireSameMatches(t, "exclude-source", legacy, decodeResult(t, raw).Matches)
+
+	// Range, legacy vs unified (max_dist switches Find to range semantics).
+	resp, raw = postJSON(t, hts.URL+"/api/datasets/growth/query/range",
+		RangeRequest{Series: "MA", Start: 0, Length: 8, MaxDist: 0.2, Limit: 10})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy range status = %d", resp.StatusCode)
+	}
+	legacy = decodeMatches(t, raw)
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window:  onex.Window{Series: "MA", Start: 0, Length: 8},
+		MaxDist: 0.2,
+		K:       10,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unified range status = %d: %s", resp.StatusCode, raw)
+	}
+	requireSameMatches(t, "range", legacy, decodeResult(t, raw).Matches)
+
+	// Ad-hoc values top-k.
+	resp, raw = postJSON(t, hts.URL+"/api/datasets/growth/query/similarity",
+		QueryRequest{Values: []float64{2, 2.5, 3, 2.5, 2}, K: 3})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("legacy values status = %d", resp.StatusCode)
+	}
+	legacy = decodeMatches(t, raw)
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Values: []float64{2, 2.5, 3, 2.5, 2}, K: 3,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("unified values status = %d: %s", resp.StatusCode, raw)
+	}
+	requireSameMatches(t, "values", legacy, decodeResult(t, raw).Matches)
+}
+
+func TestUnifiedQueryOverridesAndErrors(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+
+	// Per-query exact mode is accepted and echoed in the resolved query.
+	resp, raw := postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window:  onex.Window{Series: "MA", Start: 0, Length: 8},
+		Exclude: onex.Exclude{Self: true},
+		Mode:    onex.ModeExact,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("exact-mode query status = %d: %s", resp.StatusCode, raw)
+	}
+	if res := decodeResult(t, raw); res.Query.Mode != onex.ModeExact {
+		t.Fatalf("mode override not echoed: %+v", res.Query)
+	}
+
+	// Bad requests 400, unknown dataset 404.
+	for _, bad := range []string{
+		`{`,
+		`{}`,
+		`{"values":[1,2,3],"window":{"series":"MA","start":0,"length":8}}`,
+		`{"values":[1,2,3],"mode":"bogus"}`,
+		`{"window":{"series":"ghost","start":0,"length":8}}`,
+	} {
+		resp, err := http.Post(hts.URL+"/api/v1/datasets/growth/query", "application/json",
+			strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp2, err := http.Post(hts.URL+"/api/v1/datasets/ghost/query", "application/json",
+		strings.NewReader(`{"values":[1,2,3]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost dataset status = %d, want 404", resp2.StatusCode)
+	}
+}
+
+// TestV1Aliases verifies every GET route answers identically under /api
+// and /api/v1.
+func TestV1Aliases(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+	for _, path := range []string{
+		"/datasets",
+		"/datasets/growth/series",
+		"/datasets/growth/series/MA",
+		"/datasets/growth/overview?length=6&k=3",
+		"/datasets/growth/lengths",
+		"/datasets/growth/groups/6/0",
+		"/datasets/growth/thresholds",
+	} {
+		for _, prefix := range []string{"/api", "/api/v1"} {
+			resp, err := http.Get(hts.URL + prefix + path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s%s status = %d", prefix, path, resp.StatusCode)
+			}
+		}
+	}
+}

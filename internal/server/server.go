@@ -3,26 +3,39 @@
 // side preprocessing into the ONEX base, after which the analyst explores
 // via near-real-time JSON queries and SVG chart endpoints.
 //
-// Endpoints (all JSON unless noted):
+// Endpoints (all JSON unless noted). Every /api/v1 route is also served
+// under the unversioned /api prefix for compatibility:
 //
-//	GET  /                                     demo HTML page
-//	GET  /api/datasets                         loaded datasets + stats
-//	POST /api/datasets/load                    load+preprocess (see LoadRequest)
-//	GET  /api/datasets/{name}/series           series names
-//	GET  /api/datasets/{name}/series/{series}  one series' values
-//	GET  /api/datasets/{name}/overview         group summaries ?length=&k=
-//	POST /api/datasets/{name}/query/similarity similarity query (QueryRequest)
-//	POST /api/datasets/{name}/query/seasonal   seasonal query (SeasonalRequest)
-//	GET  /api/datasets/{name}/thresholds       ST recommendations
-//	GET  /viz/{name}/overview.svg              overview grid     ?length=&k=
-//	GET  /viz/{name}/match.svg                 warp chart        ?series=&start=&len=
-//	GET  /viz/{name}/radial.svg                radial chart      ?a=&b=
-//	GET  /viz/{name}/scatter.svg               connected scatter ?a=&b=
-//	GET  /viz/{name}/seasonal.svg              seasonal view     ?series=&len=
+//	GET  /                                        demo HTML page
+//	GET  /api/v1/datasets                         loaded datasets + stats
+//	POST /api/v1/datasets/load                    load+preprocess (see LoadRequest)
+//	GET  /api/v1/datasets/{name}/series           series names
+//	POST /api/v1/datasets/{name}/series           append + index a series
+//	GET  /api/v1/datasets/{name}/series/{series}  one series' values
+//	GET  /api/v1/datasets/{name}/overview         group summaries ?length=&k=
+//	GET  /api/v1/datasets/{name}/lengths          per-length base stats
+//	GET  /api/v1/datasets/{name}/groups/{l}/{i}   group drill-down
+//	POST /api/v1/datasets/{name}/query            unified query (onex.Query → onex.Result)
+//	POST /api/v1/datasets/{name}/query/similarity legacy similarity alias (QueryRequest)
+//	POST /api/v1/datasets/{name}/query/range      legacy range alias (RangeRequest)
+//	POST /api/v1/datasets/{name}/query/seasonal   seasonal query (SeasonalRequest)
+//	GET  /api/v1/datasets/{name}/thresholds       ST recommendations
+//	GET  /viz/{name}/overview.svg                 overview grid     ?length=&k=
+//	GET  /viz/{name}/match.svg                    warp chart        ?series=&start=&len=
+//	GET  /viz/{name}/radial.svg                   radial chart      ?a=&b=
+//	GET  /viz/{name}/scatter.svg                  connected scatter ?a=&b=
+//	GET  /viz/{name}/seasonal.svg                 seasonal view     ?series=&len=
+//
+// The unified query endpoint is the primary API: its body maps 1:1 onto
+// onex.Query (values|window, k, max_dist, exclude, lengths, mode, band,
+// length_norm) and its response is the full onex.Result (matches,
+// resolved query, stats). The per-scenario legacy routes remain as thin
+// aliases over the same execution path.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -67,20 +80,28 @@ func (s *Server) db(name string) (*onex.DB, bool) {
 	return db, ok
 }
 
+// api registers an API handler under both the versioned /api/v1 prefix
+// (the documented surface) and the legacy unversioned /api prefix.
+func (s *Server) api(method, path string, h http.HandlerFunc) {
+	s.mux.HandleFunc(method+" /api/v1"+path, h)
+	s.mux.HandleFunc(method+" /api"+path, h)
+}
+
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
-	s.mux.HandleFunc("GET /api/datasets", s.handleListDatasets)
-	s.mux.HandleFunc("POST /api/datasets/load", s.handleLoad)
-	s.mux.HandleFunc("GET /api/datasets/{name}/series", s.handleSeriesNames)
-	s.mux.HandleFunc("POST /api/datasets/{name}/series", s.handleAddSeries)
-	s.mux.HandleFunc("GET /api/datasets/{name}/series/{series}", s.handleSeriesValues)
-	s.mux.HandleFunc("GET /api/datasets/{name}/overview", s.handleOverview)
-	s.mux.HandleFunc("GET /api/datasets/{name}/lengths", s.handleLengths)
-	s.mux.HandleFunc("GET /api/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
-	s.mux.HandleFunc("POST /api/datasets/{name}/query/similarity", s.handleSimilarity)
-	s.mux.HandleFunc("POST /api/datasets/{name}/query/range", s.handleRange)
-	s.mux.HandleFunc("POST /api/datasets/{name}/query/seasonal", s.handleSeasonal)
-	s.mux.HandleFunc("GET /api/datasets/{name}/thresholds", s.handleThresholds)
+	s.api("GET", "/datasets", s.handleListDatasets)
+	s.api("POST", "/datasets/load", s.handleLoad)
+	s.api("GET", "/datasets/{name}/series", s.handleSeriesNames)
+	s.api("POST", "/datasets/{name}/series", s.handleAddSeries)
+	s.api("GET", "/datasets/{name}/series/{series}", s.handleSeriesValues)
+	s.api("GET", "/datasets/{name}/overview", s.handleOverview)
+	s.api("GET", "/datasets/{name}/lengths", s.handleLengths)
+	s.api("GET", "/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
+	s.api("POST", "/datasets/{name}/query", s.handleQuery)
+	s.api("POST", "/datasets/{name}/query/similarity", s.handleSimilarity)
+	s.api("POST", "/datasets/{name}/query/range", s.handleRange)
+	s.api("POST", "/datasets/{name}/query/seasonal", s.handleSeasonal)
+	s.api("GET", "/datasets/{name}/thresholds", s.handleThresholds)
 	s.mux.HandleFunc("GET /viz/{name}/overview.svg", s.handleVizOverview)
 	s.mux.HandleFunc("GET /viz/{name}/match.svg", s.handleVizMatch)
 	s.mux.HandleFunc("GET /viz/{name}/radial.svg", s.handleVizRadial)
@@ -252,7 +273,36 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, db.Overview(length, k))
 }
 
-// QueryRequest is a similarity query over a loaded dataset.
+// handleQuery is the unified, versioned query endpoint: the request body
+// is an onex.Query verbatim, the response an onex.Result (matches plus the
+// resolved query and search statistics). Cancelling the HTTP request
+// cancels the search.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var q onex.Query
+	if err := json.NewDecoder(r.Body).Decode(&q); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := db.Find(r.Context(), q)
+	switch {
+	case errors.Is(err, onex.ErrNoMatch):
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// QueryRequest is a similarity query over a loaded dataset (the legacy
+// wire format; new clients should POST an onex.Query to
+// /api/v1/datasets/{name}/query instead).
 type QueryRequest struct {
 	// Series/Start/Length select the query window (the demo flow), or
 	// Values supplies an ad-hoc query in original units.
@@ -267,6 +317,29 @@ type QueryRequest struct {
 	ExcludeSource bool `json:"exclude_source,omitempty"`
 }
 
+// query translates the legacy request shape onto the unified Query type.
+func (req QueryRequest) query() (onex.Query, error) {
+	switch {
+	case len(req.Values) > 0:
+		k := req.K
+		if k <= 0 {
+			k = 1
+		}
+		return onex.Query{Values: req.Values, K: k}, nil
+	case req.Series != "":
+		q := onex.Query{
+			Window:  onex.Window{Series: req.Series, Start: req.Start, Length: req.Length},
+			Exclude: onex.Exclude{Self: true},
+		}
+		if req.ExcludeSource {
+			q.Exclude = onex.Exclude{Series: []string{req.Series}}
+		}
+		return q, nil
+	default:
+		return onex.Query{}, errors.New("provide either values or series+start+length")
+	}
+}
+
 func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
@@ -278,34 +351,17 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	k := req.K
-	if k <= 0 {
-		k = 1
-	}
-	var (
-		ms  []onex.Match
-		err error
-	)
-	switch {
-	case len(req.Values) > 0:
-		ms, err = db.KBestMatches(req.Values, k)
-	case req.Series != "":
-		var m onex.Match
-		if req.ExcludeSource {
-			m, err = db.BestMatchOtherSeries(req.Series, req.Start, req.Length)
-		} else {
-			m, err = db.BestMatchForSeries(req.Series, req.Start, req.Length)
-		}
-		ms = []onex.Match{m}
-	default:
-		writeErr(w, http.StatusBadRequest, "provide either values or series+start+length")
-		return
-	}
+	q, err := req.query()
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, ms)
+	res, err := db.Find(r.Context(), q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Matches)
 }
 
 // SeasonalRequest is a seasonal query.
@@ -367,18 +423,18 @@ func (s *Server) handleAddSeries(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	// Serialize writers: incremental inserts are not query-concurrent.
-	s.mu.Lock()
-	err := db.AddSeries(req.Series, req.Values)
-	s.mu.Unlock()
-	if err != nil {
+	// DB.AddSeries serializes against that dataset's queries internally;
+	// requests for other datasets proceed untouched.
+	if err := db.AddSeries(req.Series, req.Values); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"series": req.Series, "stats": db.Stats()})
 }
 
-// RangeRequest is a within-threshold query.
+// RangeRequest is a within-threshold query (the legacy wire format; new
+// clients should POST an onex.Query with max_dist to
+// /api/v1/datasets/{name}/query instead).
 type RangeRequest struct {
 	Series  string    `json:"series,omitempty"`
 	Start   int       `json:"start,omitempty"`
@@ -416,7 +472,22 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "provide either values or series+start+length")
 		return
 	}
-	ms, err := db.WithinThreshold(q, req.MaxDist, req.Limit)
+	var (
+		ms  []onex.Match
+		err error
+	)
+	if req.MaxDist > 0 {
+		// Route through Find so a disconnecting client cancels the scan.
+		var res onex.Result
+		res, err = db.Find(r.Context(), onex.Query{Values: q, MaxDist: req.MaxDist, K: req.Limit})
+		ms = res.Matches
+	} else {
+		// MaxDist = 0 ("exact matches only") keeps its legacy range
+		// semantics via the wrapper. Query cannot express a zero-threshold
+		// range, so this branch runs uncancellable — acceptable: a zero
+		// threshold LB-prunes almost every candidate immediately.
+		ms, err = db.WithinThreshold(q, req.MaxDist, req.Limit)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return

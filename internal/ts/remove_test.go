@@ -1,0 +1,47 @@
+package ts
+
+import "testing"
+
+// Remove must keep the name index coherent: the rollback path in
+// onex.AddSeries depends on a removed name being re-addable and on the
+// remaining series still resolving to the right positions.
+func TestDatasetRemove(t *testing.T) {
+	d := NewDataset("rm")
+	d.MustAdd(NewSeries("a", []float64{1, 2, 3}))
+	d.MustAdd(NewSeries("b", []float64{4, 5, 6}))
+	d.MustAdd(NewSeries("c", []float64{7, 8, 9}))
+
+	if d.Remove("nope") {
+		t.Fatal("removed a series that does not exist")
+	}
+	if !d.Remove("b") {
+		t.Fatal("failed to remove existing series")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("len = %d after remove", d.Len())
+	}
+	// Index rebuilt: b gone, c shifted down.
+	if _, ok := d.ByName("b"); ok {
+		t.Fatal("removed series still resolvable")
+	}
+	if i := d.IndexOf("c"); i != 1 {
+		t.Fatalf("IndexOf(c) = %d after shift, want 1", i)
+	}
+	if s, ok := d.ByName("c"); !ok || s.Values[0] != 7 {
+		t.Fatal("shifted series resolves to wrong values")
+	}
+	// The removed name is immediately reusable (the rollback scenario).
+	if err := d.Add(NewSeries("b", []float64{10, 11})); err != nil {
+		t.Fatalf("re-adding removed name: %v", err)
+	}
+	if i := d.IndexOf("b"); i != 2 {
+		t.Fatalf("re-added series at %d, want 2", i)
+	}
+	// Removing the last series leaves a clean tail.
+	if !d.Remove("b") {
+		t.Fatal("failed to remove tail series")
+	}
+	if d.Len() != 2 || d.Series[d.Len()-1].Name != "c" {
+		t.Fatal("tail removal corrupted ordering")
+	}
+}

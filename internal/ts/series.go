@@ -103,6 +103,27 @@ func (d *Dataset) Add(s *Series) error {
 	return nil
 }
 
+// Remove deletes the named series and reports whether it was present.
+// Subsequent series shift down one position, so any SubSeq references
+// into the dataset are invalidated; callers (e.g. insert rollback) must
+// only remove series no index refers to. The name index is repaired
+// eagerly — deferring a rebuild to the (read-only, possibly concurrent)
+// lookup paths would race.
+func (d *Dataset) Remove(name string) bool {
+	i, ok := d.index()[name]
+	if !ok {
+		return false
+	}
+	d.Series = append(d.Series[:i], d.Series[i+1:]...)
+	delete(d.byName, name)
+	for n, j := range d.byName {
+		if j > i {
+			d.byName[n] = j - 1
+		}
+	}
+	return true
+}
+
 // MustAdd is Add for construction paths where a duplicate name is a bug.
 func (d *Dataset) MustAdd(s *Series) {
 	if err := d.Add(s); err != nil {

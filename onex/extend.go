@@ -1,6 +1,7 @@
 package onex
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -13,27 +14,25 @@ import (
 // DTW distance from the query (original units) is at most maxDist, best
 // first, capped at limit (0 = unlimited). Sweeping maxDist reproduces the
 // demo's "changes in similarity for varying parameters" exploration.
+//
+// Deprecated: use Find with Query{Values: q, MaxDist: maxDist, K: limit}.
 func (db *DB) WithinThreshold(q []float64, maxDist float64, limit int) ([]Match, error) {
-	ms, err := db.engine.WithinThreshold(db.normalizeQuery(q), core.RangeOptions{
-		MaxDist: maxDist,
-		Limit:   limit,
-	})
+	// Forced range mode keeps the maxDist = 0 edge case ("exact matches
+	// only") behaving as it always has.
+	res, err := db.find(context.Background(), Query{Values: q, MaxDist: maxDist, K: limit}, true)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, len(ms))
-	for i, m := range ms {
-		out[i] = db.publicMatch(m)
-	}
-	return out, nil
+	return res.Matches, nil
 }
 
 // AddSeries appends a new series (original units) to the open database and
 // incrementally indexes its subsequences into the base — the demo's "load
 // new data" flow without a rebuild. Values falling outside the
 // normalization range seen at Open time are mapped linearly beyond [0,1],
-// which keeps all distances consistent. Not safe to call concurrently with
-// queries.
+// which keeps all distances consistent. AddSeries is safe to call
+// concurrently with queries: it takes the DB's write lock, so in-flight
+// queries finish first and new ones wait for the insert.
 func (db *DB) AddSeries(name string, values []float64) error {
 	if name == "" {
 		return errors.New("onex: AddSeries: name required")
@@ -41,6 +40,8 @@ func (db *DB) AddSeries(name string, values []float64) error {
 	if len(values) == 0 {
 		return errors.New("onex: AddSeries: no values")
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.raw.ByName(name); dup {
 		return fmt.Errorf("onex: AddSeries: series %q already exists", name)
 	}
@@ -56,23 +57,21 @@ func (db *DB) AddSeries(name string, values []float64) error {
 	}
 	ns := ts.NewSeries(name, normVals)
 	if err := db.normed.Add(ns); err != nil {
-		// Roll back the raw append to stay consistent.
-		db.raw.Series = db.raw.Series[:db.raw.Len()-1]
+		// Roll back the raw append (name index included) to stay consistent.
+		db.raw.Remove(name)
 		return fmt.Errorf("onex: AddSeries: %w", err)
 	}
 	if err := db.base.AddSeries(db.normed, db.normed.Len()-1); err != nil {
-		db.raw.Series = db.raw.Series[:db.raw.Len()-1]
-		db.normed.Series = db.normed.Series[:db.normed.Len()-1]
+		// grouping.AddSeries validates before touching the base, so removing
+		// the freshly appended series from both datasets restores the
+		// pre-call state exactly (no dangling name-index entries).
+		db.raw.Remove(name)
+		db.normed.Remove(name)
 		return fmt.Errorf("onex: AddSeries: %w", err)
 	}
-	// The engine binds dataset+base by checksum; rebind after the change.
-	mode := core.ModeApprox
-	if db.cfg.Exact {
-		mode = core.ModeExact
-	}
-	engine, err := core.NewEngine(db.normed, db.base, core.Options{
-		Band: db.cfg.Band, Mode: mode, LengthNorm: true,
-	})
+	// The engine binds dataset+base by checksum; rebind after the change
+	// (still under the write lock, so no query observes the stale binding).
+	engine, err := newEngine(db.normed, db.base, db.cfg)
 	if err != nil {
 		return fmt.Errorf("onex: AddSeries: rebind engine: %w", err)
 	}
@@ -96,6 +95,8 @@ type CommonShape struct {
 // ranked by series coverage. minLen/maxLen zero means the indexed range;
 // k caps the list (0 = default 16).
 func (db *DB) CommonPatterns(minSeries, minLen, maxLen, k int) []CommonShape {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pats := db.engine.CommonPatterns(core.CommonOptions{
 		MinSeries:   minSeries,
 		MinLength:   minLen,
@@ -123,6 +124,8 @@ func (db *DB) CommonPatterns(minSeries, minLen, maxLen, k int) []CommonShape {
 // probe length it was measured at, and the recommendations derived from
 // it — everything a front end needs to draw the threshold histogram.
 func (db *DB) ThresholdDistribution() ([]float64, int, []Recommendation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	dists, probe, err := core.SampleDistances(db.normed, core.ThresholdOptions{})
 	if err != nil {
 		return nil, 0, nil, err
@@ -142,6 +145,8 @@ type SweepPoint = core.SweepPoint
 // parameters"). Query in original units; thresholds in normalized
 // per-point units like Config.ST.
 func (db *DB) SimilaritySweep(q []float64, thresholds []float64) ([]SweepPoint, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.engine.SimilaritySweep(db.normalizeQuery(q), thresholds, core.QueryConstraints{})
 }
 
@@ -160,6 +165,8 @@ type Member struct {
 // from the overview pane), nearest the representative first. Address the
 // group by its Overview position: length and index.
 func (db *DB) GroupMembers(length, index int) ([]Member, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ms, err := db.engine.GroupMembers(core.GroupRef{Length: length, Index: index})
 	if err != nil {
 		return nil, err
@@ -183,11 +190,17 @@ type LengthSummary = core.LengthSummary
 
 // LengthSummaries returns the base's per-length shape (group and
 // subsequence counts), ascending by length.
-func (db *DB) LengthSummaries() []LengthSummary { return db.engine.LengthSummaries() }
+func (db *DB) LengthSummaries() []LengthSummary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.engine.LengthSummaries()
+}
 
 // SaveBase persists the built ONEX base to a file (versioned binary format
 // with CRC). Reopening with OpenWithBase skips the preprocessing cost.
 func (db *DB) SaveBase(path string) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.base.SaveFile(path)
 }
 
@@ -201,6 +214,9 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	raw := d.Clone()
 	normed := d.Clone()
@@ -219,13 +235,7 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	if cfg.Band == 0 {
 		cfg.Band = maxInt(4, cfg.MaxLength/10)
 	}
-	mode := core.ModeApprox
-	if cfg.Exact {
-		mode = core.ModeExact
-	}
-	engine, err := core.NewEngine(normed, base, core.Options{
-		Band: cfg.Band, Mode: mode, LengthNorm: true,
-	})
+	engine, err := newEngine(normed, base, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
 	}

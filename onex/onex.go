@@ -10,49 +10,68 @@
 //
 //	d, _ := onex.LoadDataset("states.csv")
 //	db, _ := onex.Open(d, onex.Config{})          // normalize, pick ST, build base
-//	m, _ := db.BestMatchForSeries("MA", 0, 12)     // most similar other window
-//	fmt.Println(m.Series, m.Dist)
+//	res, _ := db.Find(ctx, onex.Query{
+//		Window:  onex.Window{Series: "MA", Start: 0, Length: 12},
+//		Exclude: onex.Exclude{Self: true},
+//	})
+//	fmt.Println(res.Matches[0].Series, res.Matches[0].Dist)
+//
+// Find executes every similarity scenario — best match, top-K, range, and
+// constrained variants — from one composable Query, honours context
+// cancellation, and reports search statistics. The older per-scenario
+// methods (BestMatch, KBestMatches, WithinThreshold, ...) remain as thin
+// wrappers over Find.
 //
 // Queries and results are in the dataset's original units; normalization
 // is handled internally.
 package onex
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/grouping"
 	"repro/internal/ts"
 )
 
-// Config tunes Open.
+// Config tunes Open. Zero values select documented defaults; contradictory
+// or out-of-domain values are rejected with a *ConfigError.
 type Config struct {
 	// ST is the per-point similarity threshold in normalized [0,1] units
 	// (the dataset is min-max normalized before grouping, and a group of
 	// length-l windows uses the absolute threshold ST*l). Zero selects the
 	// data-driven "balanced" recommendation automatically (paper §3.3).
+	// Negative or NaN values are a ConfigError.
 	ST float64
 	// MinLength/MaxLength bound the indexed subsequence lengths.
 	// Defaults: MinLength 2; MaxLength = longest series. Narrow these for
 	// large collections: the subsequence population grows quadratically
-	// with series length.
+	// with series length. MinLength 1, negative bounds, or
+	// MinLength > MaxLength are a ConfigError.
 	MinLength, MaxLength int
 	// Band is the Sakoe-Chiba width for all DTW comparisons (negative =
 	// unconstrained; 0 means the default of max(4, MaxLength/10)).
+	// Queries can override it per call via Query.Band.
 	Band int
 	// Exact switches the engine to certified-exact search; default is the
-	// paper's approximate mode.
+	// paper's approximate mode. Queries can override it per call via
+	// Query.Mode.
 	Exact bool
-	// Workers bounds build parallelism (0 = GOMAXPROCS).
+	// Workers bounds build parallelism (0 = GOMAXPROCS; negative is a
+	// ConfigError).
 	Workers int
 	// KeepRaw skips min-max normalization; ST is then in raw units.
 	KeepRaw bool
 }
 
 // DB is an opened ONEX database: a normalized dataset plus its base and
-// query engine. DB is safe for concurrent readers.
+// query engine. DB is safe for concurrent use: queries run concurrently
+// with each other and with AddSeries (writes serialize behind a RWMutex).
 type DB struct {
+	mu     sync.RWMutex
 	raw    *ts.Dataset // original units (clone of what the caller gave us)
 	normed *ts.Dataset // what the engine sees
 	base   *grouping.Base
@@ -60,15 +79,18 @@ type DB struct {
 	cfg    Config
 }
 
-// Match is one similarity result, reported in original units.
+// Match is one similarity result, reported in original units. It is
+// deliberately untagged for JSON: the legacy HTTP routes have always
+// serialized it with Go field casing, and that wire format is kept.
 type Match struct {
 	// Series is the name of the matched series.
 	Series string
 	// Start and Length locate the matched window within Series.
 	Start, Length int
-	// Dist is the length-normalized DTW distance (raw DTW divided by the
-	// longer of query and match) in normalized units, directly comparable
-	// with the per-point Config.ST.
+	// Dist is the query-to-match distance in the query's ranking units:
+	// length-normalized DTW (raw DTW divided by the longer of query and
+	// match, directly comparable with the per-point Config.ST) unless the
+	// query selected NormRaw.
 	Dist float64
 	// Values is the matched window in original units.
 	Values []float64
@@ -99,12 +121,16 @@ type Recommendation = core.Recommendation
 
 // Open normalizes (a clone of) the dataset, chooses or accepts a
 // similarity threshold, builds the ONEX base, and returns a ready DB.
+// Invalid Config combinations are rejected with a *ConfigError.
 func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	if d == nil {
 		return nil, errors.New("onex: Open: nil dataset")
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
+	}
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
 	}
 	raw := d.Clone()
 	normed := d.Clone()
@@ -145,19 +171,24 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
 	}
-	mode := core.ModeApprox
-	if cfg.Exact {
-		mode = core.ModeExact
-	}
-	engine, err := core.NewEngine(normed, base, core.Options{
-		Band:       cfg.Band,
-		Mode:       mode,
-		LengthNorm: true, // rank variable-length matches fairly
-	})
+	engine, err := newEngine(normed, base, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
 	}
 	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg}, nil
+}
+
+// newEngine binds dataset+base under the DB's resolved configuration.
+func newEngine(normed *ts.Dataset, base *grouping.Base, cfg Config) (*core.Engine, error) {
+	mode := core.ModeApprox
+	if cfg.Exact {
+		mode = core.ModeExact
+	}
+	return core.NewEngine(normed, base, core.Options{
+		Band:       cfg.Band,
+		Mode:       mode,
+		LengthNorm: true, // rank variable-length matches fairly
+	})
 }
 
 // OpenFile loads a dataset file (.csv, .json, or UCR text) and opens it.
@@ -173,16 +204,35 @@ func OpenFile(path string, cfg Config) (*DB, error) {
 // generator output round-trips).
 func LoadDataset(path string) (*ts.Dataset, error) { return ts.LoadFile(path) }
 
-// Config returns the effective configuration (thresholds resolved).
-func (db *DB) Config() Config { return db.cfg }
+// Config returns the effective configuration with every default resolved:
+// ST carries the auto-recommended threshold when none was given, MinLength
+// is at least 2, MaxLength is the longest series when it was 0, and Band
+// holds the resolved width max(4, MaxLength/10) when it was 0. Exact,
+// Workers, and KeepRaw are returned as given.
+func (db *DB) Config() Config {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cfg
+}
 
-// Dataset returns the dataset in original units.
-func (db *DB) Dataset() *ts.Dataset { return db.raw }
+// Dataset returns a deep copy of the dataset in original units. Copying
+// keeps the accessor safe alongside concurrent AddSeries calls, which
+// mutate the live dataset in place.
+func (db *DB) Dataset() *ts.Dataset {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.raw.Clone()
+}
 
 // ST returns the similarity threshold in effect (normalized units).
-func (db *DB) ST() float64 { return db.cfg.ST }
+func (db *DB) ST() float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cfg.ST
+}
 
-// Stats describes the built base.
+// Stats describes the built base. Untagged for JSON to preserve the
+// legacy HTTP wire format.
 type Stats struct {
 	Series          int
 	Subsequences    int
@@ -193,6 +243,8 @@ type Stats struct {
 
 // Stats returns base-construction statistics.
 func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return Stats{
 		Series:          db.normed.Len(),
 		Subsequences:    db.base.NumSubsequences(),
@@ -203,6 +255,7 @@ func (db *DB) Stats() Stats {
 }
 
 // normalizeQuery maps a query in original units into the engine's space.
+// Callers hold db.mu.
 func (db *DB) normalizeQuery(q []float64) []float64 {
 	if db.cfg.KeepRaw {
 		out := make([]float64, len(q))
@@ -221,6 +274,8 @@ func (db *DB) normalizeQuery(q []float64) []float64 {
 	return out
 }
 
+// publicMatch converts an engine match to original units. Callers hold
+// db.mu.
 func (db *DB) publicMatch(m core.Match) Match {
 	values, _ := ts.DenormalizeValues(db.normed, m.Ref.Series, m.Values)
 	path := make([][2]int, len(m.Path))
@@ -239,72 +294,70 @@ func (db *DB) publicMatch(m core.Match) Match {
 
 // BestMatch finds the most similar indexed subsequence to an ad-hoc query
 // given in original units.
+//
+// Deprecated: use Find with Query{Values: q}.
 func (db *DB) BestMatch(q []float64) (Match, error) {
-	m, err := db.engine.BestMatch(db.normalizeQuery(q))
+	res, err := db.Find(context.Background(), Query{Values: q})
 	if err != nil {
 		return Match{}, err
 	}
-	return db.publicMatch(m), nil
+	return res.Matches[0], nil
 }
 
 // KBestMatches returns the k most similar indexed subsequences.
+//
+// Deprecated: use Find with Query{Values: q, K: k}.
 func (db *DB) KBestMatches(q []float64, k int) ([]Match, error) {
-	ms, err := db.engine.KBestMatches(db.normalizeQuery(q), k)
+	if k < 1 {
+		return nil, fmt.Errorf("onex: KBestMatches: k = %d must be >= 1", k)
+	}
+	res, err := db.Find(context.Background(), Query{Values: q, K: k})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Match, len(ms))
-	for i, m := range ms {
-		out[i] = db.publicMatch(m)
-	}
-	return out, nil
+	return res.Matches, nil
 }
 
 // BestMatchForSeries runs the demo's similarity flow: take the window
 // [start, start+length) of the named series as the query and find the most
 // similar window elsewhere (the query's own overlapping windows are
 // excluded).
+//
+// Deprecated: use Find with Query{Window: Window{...}, Exclude:
+// Exclude{Self: true}}.
 func (db *DB) BestMatchForSeries(seriesName string, start, length int) (Match, error) {
-	si := db.normed.IndexOf(seriesName)
-	if si < 0 {
-		return Match{}, fmt.Errorf("onex: unknown series %q", seriesName)
-	}
-	self := ts.SubSeq{Series: si, Start: start, Length: length}
-	if err := self.Validate(db.normed); err != nil {
-		return Match{}, fmt.Errorf("onex: BestMatchForSeries: %w", err)
-	}
-	q := self.Values(db.normed)
-	m, err := db.engine.BestMatchConstrained(q, core.QueryConstraints{ExcludeOverlap: self})
-	if err != nil {
-		return Match{}, err
-	}
-	return db.publicMatch(m), nil
-}
-
-// BestMatchOtherSeries is BestMatchForSeries but excludes the whole source
-// series, answering "which other state looks most like MA?".
-func (db *DB) BestMatchOtherSeries(seriesName string, start, length int) (Match, error) {
-	si := db.normed.IndexOf(seriesName)
-	if si < 0 {
-		return Match{}, fmt.Errorf("onex: unknown series %q", seriesName)
-	}
-	self := ts.SubSeq{Series: si, Start: start, Length: length}
-	if err := self.Validate(db.normed); err != nil {
-		return Match{}, fmt.Errorf("onex: BestMatchOtherSeries: %w", err)
-	}
-	q := self.Values(db.normed)
-	m, err := db.engine.BestMatchConstrained(q, core.QueryConstraints{
-		ExcludeSeries: map[int]bool{si: true},
+	res, err := db.Find(context.Background(), Query{
+		Window:  Window{Series: seriesName, Start: start, Length: length},
+		Exclude: Exclude{Self: true},
 	})
 	if err != nil {
 		return Match{}, err
 	}
-	return db.publicMatch(m), nil
+	return res.Matches[0], nil
+}
+
+// BestMatchOtherSeries is BestMatchForSeries but excludes the whole source
+// series, answering "which other state looks most like MA?".
+//
+// Deprecated: use Find with Query{Window: Window{...}, Exclude:
+// Exclude{Series: []string{seriesName}}}.
+func (db *DB) BestMatchOtherSeries(seriesName string, start, length int) (Match, error) {
+	res, err := db.Find(context.Background(), Query{
+		Window:  Window{Series: seriesName, Start: start, Length: length},
+		Exclude: Exclude{Series: []string{seriesName}},
+	})
+	if err != nil {
+		return Match{}, err
+	}
+	return res.Matches[0], nil
 }
 
 // Seasonal finds repeating patterns within one series (paper §3.3,
-// Fig 4).
+// Fig 4). Seasonal mining is group-driven rather than query-driven, so it
+// stays a first-class operation beside Find.
 func (db *DB) Seasonal(seriesName string, minLen, maxLen, minOccurrences int) ([]Pattern, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	pats, err := db.engine.Seasonal(seriesName, core.SeasonalOptions{
 		MinLength:      minLen,
 		MaxLength:      maxLen,
@@ -334,6 +387,8 @@ func (db *DB) Seasonal(seriesName string, minLen, maxLen, minOccurrences int) ([
 // Overview returns the top-k groups of the given length (length 0
 // auto-selects, k<=0 returns all), representatives in original units.
 func (db *DB) Overview(length, k int) []GroupInfo {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	sums := db.engine.Overview(length, k)
 	out := make([]GroupInfo, len(sums))
 	for i, s := range sums {
@@ -346,6 +401,8 @@ func (db *DB) Overview(length, k int) []GroupInfo {
 // RecommendThresholds surfaces the data-driven threshold suggestions for
 // the (normalized) dataset.
 func (db *DB) RecommendThresholds() ([]Recommendation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return core.RecommendThresholds(db.normed, core.ThresholdOptions{})
 }
 
@@ -365,6 +422,8 @@ func RecommendForDataset(d *ts.Dataset) ([]Recommendation, error) {
 
 // SeriesNames lists the dataset's series in order.
 func (db *DB) SeriesNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, db.raw.Len())
 	for i, s := range db.raw.Series {
 		out[i] = s.Name
@@ -374,6 +433,8 @@ func (db *DB) SeriesNames() []string {
 
 // SeriesValues returns a copy of the named series in original units.
 func (db *DB) SeriesValues(name string) ([]float64, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s, ok := db.raw.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("onex: unknown series %q", name)
