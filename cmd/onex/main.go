@@ -13,6 +13,17 @@
 // query and range both map their flags onto the library's unified
 // onex.Query and run it through DB.Find; Ctrl-C cancels a long search.
 //
+//	onex analyze   -data growth.csv -kind overview [-length 8 -k 12] [-stats]
+//	onex analyze   -data power.csv -kind seasonal -series household-00 -minlen 12 -maxlen 12
+//	onex analyze   -data growth.csv -kind similarity-sweep -series MA -len 8 -thresholds 0.02,0.05,0.1
+//
+// analyze maps its flags onto the library's unified onex.Analysis and runs
+// it through DB.Analyze; every exploration scenario (overview,
+// group-members, length-summaries, seasonal, common-patterns,
+// similarity-sweep, threshold-recommend) is one -kind away, and Ctrl-C
+// cancels a long walk. The older per-scenario subcommands remain as
+// shortcuts:
+//
 //	onex seasonal  -data power.csv -series household-00 -minlen 12 -maxlen 12
 //	onex recommend -data growth.csv
 //	onex overview  -data growth.csv [-length 8 -k 12]
@@ -26,6 +37,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"repro/internal/dist"
@@ -53,6 +65,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "range":
 		err = cmdRange(os.Args[2:])
+	case "analyze":
+		err = cmdAnalyze(os.Args[2:])
 	case "seasonal":
 		err = cmdSeasonal(os.Args[2:])
 	case "recommend":
@@ -76,7 +90,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: onex <gen|build|query|range|seasonal|recommend|overview|viz> [flags]
+	fmt.Fprintln(os.Stderr, `usage: onex <gen|build|query|range|analyze|seasonal|recommend|overview|viz> [flags]
 run "onex <subcommand> -h" for flags`)
 }
 
@@ -304,6 +318,128 @@ func printStats(st onex.QueryStats) {
 	fmt.Fprintf(stdout, "stats:  %d groups (%d pruned, %d refined), %d candidates, %d DTWs, %.3f ms\n",
 		st.Groups, st.GroupsPruned, st.GroupsRefined, st.Candidates, st.DTWs,
 		float64(st.WallMicros)/1000)
+}
+
+// cmdAnalyze maps flags onto the unified onex.Analysis and prints the
+// payload selected by -kind.
+func cmdAnalyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	of := addOpenFlags(fs)
+	kind := fs.String("kind", "", "overview|group-members|length-summaries|seasonal|common-patterns|similarity-sweep|threshold-recommend (required)")
+	series := fs.String("series", "", "series to mine (seasonal) or sweep-query series (similarity-sweep)")
+	length := fs.Int("length", 0, "group length (overview: 0 = auto; group-members: required)")
+	index := fs.Int("index", 0, "group index within its length (group-members)")
+	k := fs.Int("k", 0, "result cap: top-k groups (overview, 0 = all) or max patterns (0 = 16)")
+	minOcc := fs.Int("minocc", 0, "minimum occurrences (seasonal, 0 = 2)")
+	minSeries := fs.Int("minseries", 0, "minimum distinct series (common-patterns, 0 = 2)")
+	start := fs.Int("start", 0, "sweep-query window start (similarity-sweep)")
+	qlen := fs.Int("len", 0, "sweep-query window length (similarity-sweep)")
+	thresholds := fs.String("thresholds", "", "comma-separated sweep thresholds, normalized per-point units (similarity-sweep)")
+	stats := fs.Bool("stats", false, "print walk statistics after the results")
+	_ = fs.Parse(args)
+	if *kind == "" {
+		return fmt.Errorf("analyze: -kind is required")
+	}
+	a := onex.Analysis{
+		Kind:           onex.AnalysisKind(*kind),
+		Series:         *series,
+		Length:         *length,
+		Index:          *index,
+		K:              *k,
+		Lengths:        onex.Lengths{Min: *of.minLen, Max: *of.maxLen},
+		MinOccurrences: *minOcc,
+		MinSeries:      *minSeries,
+	}
+	if *thresholds != "" {
+		for _, f := range strings.Split(*thresholds, ",") {
+			th, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("analyze: bad threshold %q", f)
+			}
+			a.Thresholds = append(a.Thresholds, th)
+		}
+	}
+	if a.Kind == onex.AnalysisSimilaritySweep {
+		if *series == "" || *qlen <= 0 {
+			return fmt.Errorf("analyze: similarity-sweep needs -series and -len")
+		}
+		a.Series = ""
+		a.Window = onex.Window{Series: *series, Start: *start, Length: *qlen}
+	}
+	db, err := of.open()
+	if err != nil {
+		return err
+	}
+	ctx, stop := queryContext()
+	defer stop()
+	res, err := db.Analyze(ctx, a)
+	if err != nil {
+		return err
+	}
+	printAnalysis(res)
+	if *stats {
+		fmt.Fprintf(stdout, "stats:  %d groups, %d candidates, %d DTWs, %.3f ms\n",
+			res.Stats.Groups, res.Stats.Candidates, res.Stats.DTWs,
+			float64(res.Stats.WallMicros)/1000)
+	}
+	return nil
+}
+
+// printAnalysis renders the one payload an AnalysisResult carries.
+func printAnalysis(res onex.AnalysisResult) {
+	switch res.Request.Kind {
+	case onex.AnalysisOverview:
+		if len(res.Groups) == 0 {
+			fmt.Fprintln(stdout, "no groups")
+			return
+		}
+		fmt.Fprintf(stdout, "top %d similarity groups (length %d):\n", len(res.Groups), res.Request.Length)
+		for i, g := range res.Groups {
+			fmt.Fprintf(stdout, "  #%-3d count=%-5d rep=%s\n", i+1, g.Count, formatValues(g.Rep, 8))
+		}
+	case onex.AnalysisGroupMembers:
+		fmt.Fprintf(stdout, "group %d/%d: %d members (nearest representative first):\n",
+			res.Request.Length, res.Request.Index, len(res.Members))
+		for i, m := range res.Members {
+			fmt.Fprintf(stdout, "  #%-3d %s[%d:%d)  repED=%.6f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.RepED)
+		}
+	case onex.AnalysisLengthSummaries:
+		fmt.Fprintln(stdout, "length  groups  subsequences")
+		for _, ls := range res.LengthSummaries {
+			fmt.Fprintf(stdout, "%6d  %6d  %12d\n", ls.Length, ls.Groups, ls.Subsequences)
+		}
+	case onex.AnalysisSeasonal:
+		if len(res.Patterns) == 0 {
+			fmt.Fprintln(stdout, "no repeating patterns found")
+			return
+		}
+		for i, p := range res.Patterns {
+			fmt.Fprintf(stdout, "#%d length=%d occurrences=%d mean_gap=%.1f starts=%v\n",
+				i+1, p.Length, p.Occurrences, p.MeanGap, p.Starts)
+		}
+	case onex.AnalysisCommonPatterns:
+		if len(res.Common) == 0 {
+			fmt.Fprintln(stdout, "no shared shapes found")
+			return
+		}
+		for i, c := range res.Common {
+			fmt.Fprintf(stdout, "#%d length=%d series=%d members=%d rep=%s\n",
+				i+1, c.Length, len(c.Series), c.TotalMembers, formatValues(c.Rep, 8))
+		}
+	case onex.AnalysisSimilaritySweep:
+		fmt.Fprintln(stdout, "maxdist   matches")
+		for _, p := range res.Sweep {
+			fmt.Fprintf(stdout, "%.5f  %8d\n", p.MaxDist, p.Matches)
+		}
+	case onex.AnalysisThresholds:
+		t := res.Thresholds
+		fmt.Fprintf(stdout, "data-driven similarity thresholds (normalized units; %d sampled pairs at probe length %d):\n",
+			len(t.Sample), t.ProbeLength)
+		for _, r := range t.Recommendations {
+			fmt.Fprintf(stdout, "  %-9s ST=%.6f (p%.0f of pairwise ED; ~%d groups, %.1fx compaction at probe length)\n",
+				r.Label, r.ST, r.Percentile*100, r.EstGroups, r.EstCompaction)
+		}
+	}
 }
 
 func cmdSeasonal(args []string) error {

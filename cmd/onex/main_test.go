@@ -180,6 +180,58 @@ func TestCmdSeasonalRecommendOverview(t *testing.T) {
 	}
 }
 
+// TestCmdAnalyze walks every -kind through the unified analyze subcommand.
+func TestCmdAnalyze(t *testing.T) {
+	dir := t.TempDir()
+	power := filepath.Join(dir, "power.csv")
+	capture(t, cmdGen, []string{"-kind", "electricity", "-n", "2", "-len", "14", "-out", power})
+	open := []string{"-data", power, "-minlen", "6", "-maxlen", "12", "-band", "2"}
+
+	run := func(extra ...string) string {
+		return capture(t, cmdAnalyze, append(append([]string{}, open...), extra...))
+	}
+
+	if out := run("-kind", "overview", "-k", "3", "-stats"); !strings.Contains(out, "similarity groups") ||
+		!strings.Contains(out, "stats:") {
+		t.Fatalf("overview output: %s", out)
+	}
+	if out := run("-kind", "group-members", "-length", "6"); !strings.Contains(out, "members") {
+		t.Fatalf("group-members output: %s", out)
+	}
+	if out := run("-kind", "length-summaries"); !strings.Contains(out, "subsequences") {
+		t.Fatalf("length-summaries output: %s", out)
+	}
+	if out := run("-kind", "seasonal", "-series", "household-00", "-minocc", "2"); !strings.Contains(out, "occurrences=") {
+		t.Fatalf("seasonal output: %s", out)
+	}
+	if out := run("-kind", "common-patterns", "-minseries", "2"); !strings.Contains(out, "series=") {
+		t.Fatalf("common-patterns output: %s", out)
+	}
+	if out := run("-kind", "similarity-sweep", "-series", "household-00", "-len", "12",
+		"-thresholds", "0.05,0.1"); !strings.Contains(out, "maxdist") {
+		t.Fatalf("sweep output: %s", out)
+	}
+	if out := run("-kind", "threshold-recommend"); !strings.Contains(out, "balanced") {
+		t.Fatalf("threshold-recommend output: %s", out)
+	}
+
+	if err := captureErr(t, cmdAnalyze, open); err == nil {
+		t.Fatal("missing -kind accepted")
+	}
+	if err := captureErr(t, cmdAnalyze, append(append([]string{}, open...), "-kind", "bogus")); err == nil {
+		t.Fatal("bogus -kind accepted")
+	}
+	if err := captureErr(t, cmdAnalyze, append(append([]string{}, open...),
+		"-kind", "similarity-sweep", "-series", "household-00", "-len", "12",
+		"-thresholds", "nope")); err == nil {
+		t.Fatal("bad -thresholds accepted")
+	}
+	if err := captureErr(t, cmdAnalyze, append(append([]string{}, open...),
+		"-kind", "similarity-sweep", "-thresholds", "0.1")); err == nil {
+		t.Fatal("sweep without -series/-len accepted")
+	}
+}
+
 func TestCmdViz(t *testing.T) {
 	dir := t.TempDir()
 	data := genGrowth(t, dir)

@@ -5,9 +5,13 @@
 //
 //	onexd -addr :8080
 //	onexd -addr :8080 -preload growth=matters:GrowthRate,power=electricity
+//	onexd -addr :8080 -data-dir /srv/onex/data
 //
 // Preloaded sources accept the same syntax as POST /api/datasets/load:
 // "matters:<Indicator>", "electricity", "cbf", "walks", "file:<path>".
+// -data-dir restricts the load endpoint's file: sources to one directory;
+// without it any server-readable path may be loaded (the historical demo
+// behaviour, fine when operator == analyst).
 package main
 
 import (
@@ -29,9 +33,14 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	preload := flag.String("preload", "", "comma-separated name=source pairs to load at startup")
+	dataDir := flag.String("data-dir", "", "restrict file: load sources to this directory (default: unrestricted)")
 	flag.Parse()
 
-	srv := server.New()
+	var opts []server.Option
+	if *dataDir != "" {
+		opts = append(opts, server.WithDataDir(*dataDir))
+	}
+	srv := server.New(opts...)
 	if *preload != "" {
 		for _, pair := range strings.Split(*preload, ",") {
 			name, source, ok := strings.Cut(pair, "=")

@@ -105,6 +105,101 @@ func TestFindCancelsWithinOneRound(t *testing.T) {
 	}
 }
 
+// TestAnalyticsPreCancelled verifies every analytics walk observes an
+// already-dead context before doing work.
+func TestAnalyticsPreCancelled(t *testing.T) {
+	d, e := cancelWorld(t)
+	q := d.Series[0].Values[0:24]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for label, run := range map[string]func() error{
+		"seasonal": func() error {
+			_, err := e.SeasonalByIndexContext(ctx, 0, SeasonalOptions{}, nil)
+			return err
+		},
+		"common": func() error {
+			_, err := e.CommonPatternsContext(ctx, CommonOptions{}, nil)
+			return err
+		},
+		"sweep": func() error {
+			_, err := e.SimilaritySweepContext(ctx, q, []float64{0.5}, QueryConstraints{}, e.Options(), nil)
+			return err
+		},
+		"overview": func() error {
+			_, err := e.OverviewContext(ctx, 0, 4, nil)
+			return err
+		},
+		"members": func() error {
+			_, err := e.GroupMembersContext(ctx, GroupRef{Length: 8, Index: 0}, nil)
+			return err
+		},
+		"lengths": func() error {
+			_, err := e.LengthSummariesContext(ctx, nil)
+			return err
+		},
+		"recommend": func() error {
+			_, err := RecommendThresholdsContext(ctx, d, ThresholdOptions{})
+			return err
+		},
+	} {
+		if err := run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", label, err)
+		}
+	}
+}
+
+// TestAnalyticsCancelWithinOneRound flips the context to cancelled after a
+// fixed number of Err checks and asserts each analytics walk returns
+// immediately after observing it — the deterministic version of "a context
+// cancelled mid-seasonal-mine or mid-sweep aborts within one pruning
+// round". cancelWorld's base is large (tens of thousands of windows), so
+// every walk has many rounds left when the cancellation lands.
+func TestAnalyticsCancelWithinOneRound(t *testing.T) {
+	d, e := cancelWorld(t)
+	q := d.Series[0].Values[0:24]
+	for label, run := range map[string]func(ctx context.Context) error{
+		"seasonal": func(ctx context.Context) error {
+			_, err := e.SeasonalByIndexContext(ctx, 0, SeasonalOptions{}, nil)
+			return err
+		},
+		"common": func(ctx context.Context) error {
+			_, err := e.CommonPatternsContext(ctx, CommonOptions{}, nil)
+			return err
+		},
+		"sweep": func(ctx context.Context) error {
+			_, err := e.SimilaritySweepContext(ctx, q, []float64{0.5}, QueryConstraints{}, e.Options(), nil)
+			return err
+		},
+	} {
+		ctx := &countingCtx{Context: context.Background(), limit: 10}
+		if err := run(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s: err = %v, want context.Canceled", label, err)
+		}
+		// The walk must stop at the first check past the limit: no further
+		// group/member rounds may run once Err flips.
+		if ctx.calls != ctx.limit+1 {
+			t.Fatalf("%s: walk ran %d context checks past the cancellation point",
+				label, ctx.calls-ctx.limit-1)
+		}
+	}
+}
+
+// TestSeasonalStatsAccumulate pins the statistics contract on the
+// analytics side: a full mine reports the groups and members it visited.
+func TestSeasonalStatsAccumulate(t *testing.T) {
+	_, e := cancelWorld(t)
+	var st SearchStats
+	if _, err := e.SeasonalByIndexContext(context.Background(), 0, SeasonalOptions{}, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Groups != e.Base().NumGroups() {
+		t.Fatalf("seasonal visited %d groups, base has %d", st.Groups, e.Base().NumGroups())
+	}
+	if st.Members != e.Base().NumSubsequences() {
+		t.Fatalf("seasonal visited %d members, base has %d", st.Members, e.Base().NumSubsequences())
+	}
+}
+
 // TestFindCancelledMidExactScan cancels a real context while a large
 // exact-mode scan is in flight and requires the search to return promptly.
 func TestFindCancelledMidExactScan(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dist"
@@ -44,6 +45,19 @@ type CommonOptions struct {
 // distance computation is needed: the base already encodes the mutual
 // similarity, so this is a pure scan of group membership.
 func (e *Engine) CommonPatterns(opts CommonOptions) []CommonPattern {
+	pats, _ := e.CommonPatternsContext(context.Background(), opts, nil)
+	return pats
+}
+
+// CommonPatternsContext is CommonPatterns with cancellation and statistics:
+// the context is checked once per group and every ctxCheckStride members
+// (the per-member representative-ED scan is the expensive part), so a
+// cancelled mine aborts within one pruning round with ctx.Err(). st, when
+// non-nil, accumulates the groups and members visited.
+func (e *Engine) CommonPatternsContext(ctx context.Context, opts CommonOptions, st *SearchStats) ([]CommonPattern, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	minSeries := opts.MinSeries
 	if minSeries < 2 {
 		minSeries = 2
@@ -66,9 +80,21 @@ func (e *Engine) CommonPatterns(opts CommonOptions) []CommonPattern {
 			continue
 		}
 		for gi, g := range e.base.GroupsOfLength(l) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if st != nil {
+				st.Groups++
+				st.Members += len(g.Members)
+			}
 			perSeries := map[int]ts.SubSeq{}
 			perSeriesD := map[int]float64{}
-			for _, m := range g.Members {
+			for mi, m := range g.Members {
+				if mi%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				d := dist.ED(m.Values(e.ds), g.Rep)
 				if prev, ok := perSeriesD[m.Series]; !ok || d < prev {
 					perSeries[m.Series] = m
@@ -105,5 +131,5 @@ func (e *Engine) CommonPatterns(opts CommonOptions) []CommonPattern {
 	if len(out) > maxPatterns {
 		out = out[:maxPatterns]
 	}
-	return out
+	return out, nil
 }

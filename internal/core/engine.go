@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -146,9 +147,25 @@ type GroupSummary struct {
 // (k <= 0 means all). Length 0 selects the base length with the largest
 // membership, mirroring the demo's default landing view.
 func (e *Engine) Overview(length, k int) []GroupSummary {
+	sums, _ := e.OverviewContext(context.Background(), length, k, nil)
+	return sums
+}
+
+// OverviewContext is Overview with cancellation and statistics: the context
+// is checked once per length during auto-selection and once per returned
+// group (each MaxRadius computation scans the group's members), so a
+// cancelled walk aborts within one round with ctx.Err(). st, when non-nil,
+// accumulates the groups and members visited.
+func (e *Engine) OverviewContext(ctx context.Context, length, k int, st *SearchStats) ([]GroupSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if length == 0 {
 		best, bestCount := 0, -1
 		for _, l := range e.base.Lengths() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			n := 0
 			for _, g := range e.base.GroupsOfLength(l) {
 				n += g.Count()
@@ -165,7 +182,14 @@ func (e *Engine) Overview(length, k int) []GroupSummary {
 	}
 	out := make([]GroupSummary, 0, k)
 	for i := 0; i < k; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		g := groups[i]
+		if st != nil {
+			st.Groups++
+			st.Members += g.Count()
+		}
 		out = append(out, GroupSummary{
 			Group:     GroupRef{Length: length, Index: i},
 			Count:     g.Count(),
@@ -173,7 +197,7 @@ func (e *Engine) Overview(length, k int) []GroupSummary {
 			MaxRadius: g.MaxRadius(e.ds),
 		})
 	}
-	return out
+	return out, nil
 }
 
 // OverviewAll returns the top-k groups across every indexed length by
@@ -227,13 +251,33 @@ type MemberInfo struct {
 // GroupMembers returns the members of one group, nearest-to-representative
 // first. It errors on a dangling reference.
 func (e *Engine) GroupMembers(ref GroupRef) ([]MemberInfo, error) {
+	return e.GroupMembersContext(context.Background(), ref, nil)
+}
+
+// GroupMembersContext is GroupMembers with cancellation and statistics: the
+// context is checked every ctxCheckStride members (each member costs one
+// representative ED), so a cancelled drill-down aborts within one round
+// with ctx.Err(). st, when non-nil, accumulates the visit counts.
+func (e *Engine) GroupMembersContext(ctx context.Context, ref GroupRef, st *SearchStats) ([]MemberInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	groups := e.base.GroupsOfLength(ref.Length)
 	if ref.Index < 0 || ref.Index >= len(groups) {
 		return nil, fmt.Errorf("core: GroupMembers: no group %d at length %d", ref.Index, ref.Length)
 	}
 	g := groups[ref.Index]
+	if st != nil {
+		st.Groups++
+		st.Members += len(g.Members)
+	}
 	out := make([]MemberInfo, 0, len(g.Members))
-	for _, m := range g.Members {
+	for mi, m := range g.Members {
+		if mi%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		vals := m.Values(e.ds)
 		out = append(out, MemberInfo{
 			Ref:        m,
@@ -255,15 +299,34 @@ type LengthSummary struct {
 
 // LengthSummaries returns the base's per-length shape, ascending by length.
 func (e *Engine) LengthSummaries() []LengthSummary {
+	sums, _ := e.LengthSummariesContext(context.Background(), nil)
+	return sums
+}
+
+// LengthSummariesContext is LengthSummaries with cancellation and
+// statistics: the context is checked once per indexed length, so a
+// cancelled walk aborts within one round with ctx.Err(). st, when non-nil,
+// accumulates the groups and members visited.
+func (e *Engine) LengthSummariesContext(ctx context.Context, st *SearchStats) ([]LengthSummary, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lengths := e.base.Lengths()
 	out := make([]LengthSummary, 0, len(lengths))
 	for _, l := range lengths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ls := LengthSummary{Length: l}
 		for _, g := range e.base.GroupsOfLength(l) {
 			ls.Groups++
 			ls.Subsequences += g.Count()
 		}
 		out = append(out, ls)
+		if st != nil {
+			st.Groups += ls.Groups
+			st.Members += ls.Subsequences
+		}
 	}
-	return out
+	return out, nil
 }

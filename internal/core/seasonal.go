@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -56,15 +57,31 @@ type SeasonalOptions struct {
 // length (descending: longer recurring shapes are more informative), then
 // by earliest occurrence.
 func (e *Engine) Seasonal(seriesName string, opts SeasonalOptions) ([]Pattern, error) {
+	return e.SeasonalContext(context.Background(), seriesName, opts, nil)
+}
+
+// SeasonalContext is Seasonal with cancellation and statistics: the context
+// is checked once per candidate group and every ctxCheckStride members, so
+// a cancelled mine aborts within one pruning round with ctx.Err(). st, when
+// non-nil, accumulates the groups and members visited.
+func (e *Engine) SeasonalContext(ctx context.Context, seriesName string, opts SeasonalOptions, st *SearchStats) ([]Pattern, error) {
 	si := e.ds.IndexOf(seriesName)
 	if si < 0 {
 		return nil, fmt.Errorf("core: Seasonal: series %q not in dataset %q", seriesName, e.ds.Name)
 	}
-	return e.SeasonalByIndex(si, opts)
+	return e.SeasonalByIndexContext(ctx, si, opts, st)
 }
 
 // SeasonalByIndex is Seasonal addressed by series position.
 func (e *Engine) SeasonalByIndex(si int, opts SeasonalOptions) ([]Pattern, error) {
+	return e.SeasonalByIndexContext(context.Background(), si, opts, nil)
+}
+
+// SeasonalByIndexContext is SeasonalContext addressed by series position.
+func (e *Engine) SeasonalByIndexContext(ctx context.Context, si int, opts SeasonalOptions, st *SearchStats) ([]Pattern, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if si < 0 || si >= e.ds.Len() {
 		return nil, fmt.Errorf("core: Seasonal: series index %d out of range", si)
 	}
@@ -90,9 +107,21 @@ func (e *Engine) SeasonalByIndex(si int, opts SeasonalOptions) ([]Pattern, error
 			continue
 		}
 		for gi, g := range e.base.GroupsOfLength(l) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if st != nil {
+				st.Groups++
+				st.Members += len(g.Members)
+			}
 			// Collect this series' members of the group.
 			var mine []ts.SubSeq
-			for _, m := range g.Members {
+			for mi, m := range g.Members {
+				if mi%ctxCheckStride == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
 				if m.Series == si {
 					mine = append(mine, m)
 				}

@@ -20,6 +20,19 @@ type SweepPoint struct {
 // against the largest value, then counted per step, so the cost is one
 // range query, not len(thresholds).
 func (e *Engine) SimilaritySweep(q []float64, thresholds []float64, c QueryConstraints) ([]SweepPoint, error) {
+	return e.SimilaritySweepContext(context.Background(), q, thresholds, c, e.opts, nil)
+}
+
+// SimilaritySweepContext is SimilaritySweep with cancellation, per-call
+// engine options, and statistics. The underlying range scan checks the
+// context once per group and every ctxCheckStride members, so a cancelled
+// sweep aborts within one pruning round with ctx.Err(). callOpts overrides
+// the engine's Band (the scan is always certified regardless of Mode); st,
+// when non-nil, accumulates the range scan's search statistics.
+func (e *Engine) SimilaritySweepContext(ctx context.Context, q []float64, thresholds []float64, c QueryConstraints, callOpts Options, st *SearchStats) ([]SweepPoint, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(thresholds) == 0 {
 		return nil, fmt.Errorf("core: SimilaritySweep: no thresholds")
 	}
@@ -30,7 +43,7 @@ func (e *Engine) SimilaritySweep(q []float64, thresholds []float64, c QueryConst
 	if maxT < 0 {
 		return nil, fmt.Errorf("core: SimilaritySweep: negative thresholds")
 	}
-	ms, err := e.WithinThreshold(q, RangeOptions{MaxDist: maxT, Constraints: c})
+	ms, err := e.withinThreshold(ctx, q, RangeOptions{MaxDist: maxT, Constraints: c}, callOpts, st)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -58,6 +59,17 @@ var defaultPercentiles = []struct {
 // distribution behind the recommended cut points. The probe length
 // actually used is returned alongside.
 func SampleDistances(d *ts.Dataset, opts ThresholdOptions) ([]float64, int, error) {
+	return SampleDistancesContext(context.Background(), d, opts)
+}
+
+// SampleDistancesContext is SampleDistances with cancellation: the context
+// is checked once per series during window enumeration and every
+// ctxCheckStride sampled pairs, so a cancelled sample aborts promptly with
+// ctx.Err().
+func SampleDistancesContext(ctx context.Context, d *ts.Dataset, opts ThresholdOptions) ([]float64, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := d.Validate(); err != nil {
 		return nil, 0, fmt.Errorf("core: SampleDistances: %w", err)
 	}
@@ -85,6 +97,9 @@ func SampleDistances(d *ts.Dataset, opts ThresholdOptions) ([]float64, int, erro
 	// Enumerate all windows of the probe length (references only).
 	var windows []ts.SubSeq
 	for si, s := range d.Series {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
 		for st := 0; st+probe <= s.Len(); st++ {
 			windows = append(windows, ts.SubSeq{Series: si, Start: st, Length: probe})
 		}
@@ -94,6 +109,11 @@ func SampleDistances(d *ts.Dataset, opts ThresholdOptions) ([]float64, int, erro
 	}
 	dists := make([]float64, 0, samplePairs)
 	for i := 0; i < samplePairs; i++ {
+		if i%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+		}
 		a := windows[rng.Intn(len(windows))]
 		b := windows[rng.Intn(len(windows))]
 		if a == b {
@@ -113,13 +133,37 @@ func SampleDistances(d *ts.Dataset, opts ThresholdOptions) ([]float64, int, erro
 // percentiles, each annotated with the group count a trial clustering at
 // that ST produces. The "balanced" entry is a sensible default ST.
 func RecommendThresholds(d *ts.Dataset, opts ThresholdOptions) ([]Recommendation, error) {
-	dists, probe, err := SampleDistances(d, opts)
+	return RecommendThresholdsContext(context.Background(), d, opts)
+}
+
+// RecommendThresholdsContext is RecommendThresholds with cancellation: the
+// context is threaded through the distance sampling and re-checked between
+// the per-percentile trial clusterings (the dominant cost), so a cancelled
+// recommendation aborts between rounds with ctx.Err().
+func RecommendThresholdsContext(ctx context.Context, d *ts.Dataset, opts ThresholdOptions) ([]Recommendation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dists, probe, err := SampleDistancesContext(ctx, d, opts)
 	if err != nil {
 		return nil, fmt.Errorf("core: RecommendThresholds: %w", err)
 	}
+	return RecommendFromSampleContext(ctx, d, dists, probe)
+}
 
+// RecommendFromSampleContext derives the recommendations from an
+// already-drawn SampleDistances sample (sorted ascending, normalized per
+// point, measured at probe), so callers needing both the distribution and
+// the recommendations pay the sampling pass only once.
+func RecommendFromSampleContext(ctx context.Context, d *ts.Dataset, dists []float64, probe int) ([]Recommendation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	recs := make([]Recommendation, 0, len(defaultPercentiles))
 	for _, p := range defaultPercentiles {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// SampleDistances already normalizes per point, so quantiles are
 		// directly the per-point thresholds the grouping layer expects.
 		st := quantileSorted(dists, p.q)

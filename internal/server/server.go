@@ -16,6 +16,7 @@
 //	GET  /api/v1/datasets/{name}/lengths          per-length base stats
 //	GET  /api/v1/datasets/{name}/groups/{l}/{i}   group drill-down
 //	POST /api/v1/datasets/{name}/query            unified query (onex.Query → onex.Result)
+//	POST /api/v1/datasets/{name}/analyze          unified analytics (onex.Analysis → onex.AnalysisResult)
 //	POST /api/v1/datasets/{name}/query/similarity legacy similarity alias (QueryRequest)
 //	POST /api/v1/datasets/{name}/query/range      legacy range alias (RangeRequest)
 //	POST /api/v1/datasets/{name}/query/seasonal   seasonal query (SeasonalRequest)
@@ -26,11 +27,13 @@
 //	GET  /viz/{name}/scatter.svg                  connected scatter ?a=&b=
 //	GET  /viz/{name}/seasonal.svg                 seasonal view     ?series=&len=
 //
-// The unified query endpoint is the primary API: its body maps 1:1 onto
-// onex.Query (values|window, k, max_dist, exclude, lengths, mode, band,
-// length_norm) and its response is the full onex.Result (matches,
-// resolved query, stats). The per-scenario legacy routes remain as thin
-// aliases over the same execution path.
+// The unified query and analyze endpoints are the primary API: their
+// bodies map 1:1 onto onex.Query and onex.Analysis, their responses are
+// the full onex.Result / onex.AnalysisResult (payload, resolved request,
+// stats), and cancelling the HTTP request cancels the underlying walk.
+// The per-scenario legacy routes remain as thin aliases over the same
+// execution paths, so every analytics route honours request-context
+// cancellation too.
 package server
 
 import (
@@ -38,6 +41,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,14 +54,31 @@ import (
 
 // Server holds the loaded ONEX databases. Safe for concurrent use.
 type Server struct {
-	mu  sync.RWMutex
-	dbs map[string]*onex.DB
-	mux *http.ServeMux
+	mu      sync.RWMutex
+	dbs     map[string]*onex.DB
+	mux     *http.ServeMux
+	dataDir string // when set, "file:" load sources must resolve inside it
+}
+
+// Option customizes a Server at construction.
+type Option func(*Server)
+
+// WithDataDir restricts POST /api/v1/datasets/load "file:" sources to
+// paths inside dir: requests escaping it (via "..", absolute paths, or any
+// other traversal) are rejected with 403. The default — no data directory
+// — keeps the historical behaviour of loading any server-readable path,
+// which is only appropriate when the operator and the analyst are the same
+// person (the CLI demo).
+func WithDataDir(dir string) Option {
+	return func(s *Server) { s.dataDir = dir }
 }
 
 // New builds an empty server.
-func New() *Server {
+func New(opts ...Option) *Server {
 	s := &Server{dbs: make(map[string]*onex.DB), mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.routes()
 	return s
 }
@@ -98,6 +119,7 @@ func (s *Server) routes() {
 	s.api("GET", "/datasets/{name}/lengths", s.handleLengths)
 	s.api("GET", "/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
 	s.api("POST", "/datasets/{name}/query", s.handleQuery)
+	s.api("POST", "/datasets/{name}/analyze", s.handleAnalyze)
 	s.api("POST", "/datasets/{name}/query/similarity", s.handleSimilarity)
 	s.api("POST", "/datasets/{name}/query/range", s.handleRange)
 	s.api("POST", "/datasets/{name}/query/seasonal", s.handleSeasonal)
@@ -159,6 +181,10 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "name and source are required")
 		return
 	}
+	if err := s.allowSource(req.Source); err != nil {
+		writeErr(w, http.StatusForbidden, "%v", err)
+		return
+	}
 	ds, err := DatasetForSource(req.Source)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -177,6 +203,37 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	s.AddDB(req.Name, db)
 	writeJSON(w, http.StatusOK, LoadResponse{Name: req.Name, Stats: db.Stats(), ST: db.ST()})
+}
+
+// allowSource enforces the optional data-directory allowlist on "file:"
+// load sources. Symlinks inside the data directory are resolved before the
+// containment check, so a link pointing outside cannot smuggle a path in.
+func (s *Server) allowSource(source string) error {
+	path, ok := strings.CutPrefix(source, "file:")
+	if !ok || s.dataDir == "" {
+		return nil
+	}
+	root, err := filepath.Abs(s.dataDir)
+	if err != nil {
+		return fmt.Errorf("load: data directory: %v", err)
+	}
+	abs, err := filepath.Abs(path)
+	if err != nil {
+		return fmt.Errorf("load: %v", err)
+	}
+	// Resolve symlinks where possible (the file may not exist yet at check
+	// time; EvalSymlinks of an existing ancestor still normalizes the root).
+	if r, err := filepath.EvalSymlinks(root); err == nil {
+		root = r
+	}
+	if a, err := filepath.EvalSymlinks(abs); err == nil {
+		abs = a
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return fmt.Errorf("load: path %q escapes the data directory", path)
+	}
+	return nil
 }
 
 // DatasetForSource resolves a load-request source specifier into a
@@ -269,8 +326,47 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	length := queryInt(r, "length", 0)
-	k := queryInt(r, "k", 12)
-	writeJSON(w, http.StatusOK, db.Overview(length, k))
+	if length < 0 {
+		// This route has always answered nonsense lengths with an empty
+		// list rather than an error; keep that contract.
+		writeJSON(w, http.StatusOK, []onex.GroupInfo{})
+		return
+	}
+	res, err := db.Analyze(r.Context(), onex.Analysis{
+		Kind:   onex.AnalysisOverview,
+		Length: length,
+		K:      queryInt(r, "k", 12),
+	})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.Groups)
+}
+
+// handleAnalyze is the unified, versioned analytics endpoint: the request
+// body is an onex.Analysis verbatim, the response an onex.AnalysisResult
+// (payload plus the resolved request and walk statistics). Cancelling the
+// HTTP request cancels the walk. The per-scenario analytics routes
+// (overview, lengths, groups, seasonal, thresholds) are thin aliases over
+// the same execution path, preserving their historical wire formats.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return
+	}
+	var a onex.Analysis
+	if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	res, err := db.Analyze(r.Context(), a)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
 }
 
 // handleQuery is the unified, versioned query endpoint: the request body
@@ -383,12 +479,25 @@ func (s *Server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	pats, err := db.Seasonal(req.Series, req.MinLength, req.MaxLength, req.MinOccurrences)
+	// This route has always treated non-positive bounds as "the indexed
+	// range" and an empty intersection as an empty result; Analysis spells
+	// the former 0 and rejects the latter, so translate both.
+	bounds := onex.Lengths{Min: max(req.MinLength, 0), Max: max(req.MaxLength, 0)}
+	if bounds.Max > 0 && bounds.Min > bounds.Max {
+		writeJSON(w, http.StatusOK, []onex.Pattern{})
+		return
+	}
+	res, err := db.Analyze(r.Context(), onex.Analysis{
+		Kind:           onex.AnalysisSeasonal,
+		Series:         req.Series,
+		Lengths:        bounds,
+		MinOccurrences: req.MinOccurrences,
+	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, pats)
+	writeJSON(w, http.StatusOK, res.Patterns)
 }
 
 func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
@@ -397,12 +506,12 @@ func (s *Server) handleThresholds(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
 		return
 	}
-	recs, err := db.RecommendThresholds()
+	res, err := db.Analyze(r.Context(), onex.Analysis{Kind: onex.AnalysisThresholds})
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, recs)
+	writeJSON(w, http.StatusOK, res.Thresholds.Recommendations)
 }
 
 // AddSeriesRequest appends one series to a loaded dataset and indexes it
@@ -507,12 +616,16 @@ func (s *Server) handleGroupMembers(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "length and index must be integers")
 		return
 	}
-	members, err := db.GroupMembers(length, index)
+	res, err := db.Analyze(r.Context(), onex.Analysis{
+		Kind:   onex.AnalysisGroupMembers,
+		Length: length,
+		Index:  index,
+	})
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, members)
+	writeJSON(w, http.StatusOK, res.Members)
 }
 
 func (s *Server) handleLengths(w http.ResponseWriter, r *http.Request) {
@@ -521,7 +634,12 @@ func (s *Server) handleLengths(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
 		return
 	}
-	writeJSON(w, http.StatusOK, db.LengthSummaries())
+	res, err := db.Analyze(r.Context(), onex.Analysis{Kind: onex.AnalysisLengthSummaries})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res.LengthSummaries)
 }
 
 func queryInt(r *http.Request, key string, def int) int {

@@ -25,6 +25,32 @@ func (e *ConfigError) Error() string {
 	return fmt.Sprintf("onex: invalid Config.%s = %v: %s", e.Field, e.Value, e.Reason)
 }
 
+// AnalysisError reports an invalid Analysis passed to Analyze, in the
+// style of ConfigError: unset (zero) fields resolve to documented defaults
+// and never produce an AnalysisError; missing required fields and
+// out-of-domain values do, instead of being silently clamped.
+//
+// Use errors.As to detect it:
+//
+//	var ae *onex.AnalysisError
+//	if errors.As(err, &ae) { log.Fatalf("bad %s: %s", ae.Field, ae.Reason) }
+type AnalysisError struct {
+	// Kind is the analysis kind the request asked for (possibly invalid
+	// itself, when Field is "Kind").
+	Kind AnalysisKind
+	// Field names the offending Analysis field ("Series", "Thresholds", ...).
+	Field string
+	// Value is the rejected value, rendered with %v.
+	Value any
+	// Reason says what the field's domain is.
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *AnalysisError) Error() string {
+	return fmt.Sprintf("onex: invalid Analysis.%s = %v (kind %q): %s", e.Field, e.Value, e.Kind, e.Reason)
+}
+
 // validateConfig rejects contradictory or out-of-domain Config values.
 // Zero values are legal everywhere (they select defaults) and are resolved
 // by Open after this check passes.

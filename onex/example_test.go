@@ -1,6 +1,7 @@
 package onex_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gen"
@@ -37,6 +38,28 @@ func ExampleDB_Seasonal() {
 	}
 	fmt.Printf("found %v pattern(s); top one recurs %d times\n", len(pats) > 0, pats[0].Occurrences)
 	// Output: found true pattern(s); top one recurs 15 times
+}
+
+// Analyze runs every exploration scenario from one composable request;
+// here the seasonal mine of ExampleDB_Seasonal in its unified spelling,
+// with the walk statistics Analyze adds.
+func ExampleDB_Analyze() {
+	data := gen.ElectricityLoad(gen.ElectricityOptions{Households: 1, Days: 21, SamplesPerDay: 12})
+	db, err := onex.Open(data, onex.Config{MinLength: 12, MaxLength: 12, Band: 2})
+	if err != nil {
+		panic(err)
+	}
+	res, err := db.Analyze(context.Background(), onex.Analysis{
+		Kind:           onex.AnalysisSeasonal,
+		Series:         "household-00",
+		MinOccurrences: 3,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("top pattern recurs %d times; visited every group: %v\n",
+		res.Patterns[0].Occurrences, res.Stats.Groups == db.Stats().Groups)
+	// Output: top pattern recurs 15 times; visited every group: true
 }
 
 // Threshold recommendations are data-driven: the suggested ST tracks the

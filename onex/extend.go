@@ -94,47 +94,36 @@ type CommonShape struct {
 // series (the paper's "critical relationships between time series"),
 // ranked by series coverage. minLen/maxLen zero means the indexed range;
 // k caps the list (0 = default 16).
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisCommonPatterns,
+// MinSeries: minSeries, Lengths: Lengths{Min: minLen, Max: maxLen}, K: k}.
 func (db *DB) CommonPatterns(minSeries, minLen, maxLen, k int) []CommonShape {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	pats := db.engine.CommonPatterns(core.CommonOptions{
-		MinSeries:   minSeries,
-		MinLength:   minLen,
-		MaxLength:   maxLen,
-		MaxPatterns: k,
+	// This method has always treated non-positive bounds as "the indexed
+	// range"; Analysis spells that 0, so clamp before delegating.
+	res, err := db.Analyze(context.Background(), Analysis{
+		Kind:      AnalysisCommonPatterns,
+		MinSeries: minSeries,
+		Lengths:   Lengths{Min: max(minLen, 0), Max: max(maxLen, 0)},
+		K:         k,
 	})
-	out := make([]CommonShape, len(pats))
-	for i, p := range pats {
-		names := make([]string, len(p.Occurrences))
-		for j, o := range p.Occurrences {
-			names[j] = db.raw.At(o.Series).Name
-		}
-		rep, _ := ts.DenormalizeValues(db.normed, 0, p.Rep)
-		out[i] = CommonShape{
-			Length:       p.Length,
-			Series:       names,
-			Rep:          rep,
-			TotalMembers: p.TotalMembers,
-		}
+	if err != nil {
+		return nil
 	}
-	return out
+	return res.Common
 }
 
 // ThresholdDistribution returns the per-point pairwise-ED sample, the
 // probe length it was measured at, and the recommendations derived from
 // it — everything a front end needs to draw the threshold histogram.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisThresholds}.
 func (db *DB) ThresholdDistribution() ([]float64, int, []Recommendation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	dists, probe, err := core.SampleDistances(db.normed, core.ThresholdOptions{})
+	res, err := db.Analyze(context.Background(), Analysis{Kind: AnalysisThresholds})
 	if err != nil {
 		return nil, 0, nil, err
 	}
-	recs, err := core.RecommendThresholds(db.normed, core.ThresholdOptions{})
-	if err != nil {
-		return nil, 0, nil, err
-	}
-	return dists, probe, recs, nil
+	t := res.Thresholds
+	return t.Sample, t.ProbeLength, t.Recommendations, nil
 }
 
 // SweepPoint re-exports one threshold-sweep step.
@@ -144,10 +133,19 @@ type SweepPoint = core.SweepPoint
 // paper's "changes in the similarity between sequences for varying
 // parameters"). Query in original units; thresholds in normalized
 // per-point units like Config.ST.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisSimilaritySweep,
+// Values: q, Thresholds: thresholds}.
 func (db *DB) SimilaritySweep(q []float64, thresholds []float64) ([]SweepPoint, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.engine.SimilaritySweep(db.normalizeQuery(q), thresholds, core.QueryConstraints{})
+	res, err := db.Analyze(context.Background(), Analysis{
+		Kind:       AnalysisSimilaritySweep,
+		Values:     q,
+		Thresholds: thresholds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Sweep, nil
 }
 
 // Member is one group member in the drill-down view, in original units.
@@ -164,25 +162,19 @@ type Member struct {
 // GroupMembers lists one similarity group's members (the demo's drill-down
 // from the overview pane), nearest the representative first. Address the
 // group by its Overview position: length and index.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisGroupMembers,
+// Length: length, Index: index}.
 func (db *DB) GroupMembers(length, index int) ([]Member, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ms, err := db.engine.GroupMembers(core.GroupRef{Length: length, Index: index})
+	res, err := db.Analyze(context.Background(), Analysis{
+		Kind:   AnalysisGroupMembers,
+		Length: length,
+		Index:  index,
+	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Member, len(ms))
-	for i, m := range ms {
-		vals, _ := ts.DenormalizeValues(db.normed, m.Ref.Series, m.Values)
-		out[i] = Member{
-			Series: m.SeriesName,
-			Start:  m.Ref.Start,
-			Length: m.Ref.Length,
-			RepED:  m.RepED,
-			Values: vals,
-		}
-	}
-	return out, nil
+	return res.Members, nil
 }
 
 // LengthSummary re-exports the per-length base statistics row.
@@ -190,10 +182,14 @@ type LengthSummary = core.LengthSummary
 
 // LengthSummaries returns the base's per-length shape (group and
 // subsequence counts), ascending by length.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisLengthSummaries}.
 func (db *DB) LengthSummaries() []LengthSummary {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.engine.LengthSummaries()
+	res, err := db.Analyze(context.Background(), Analysis{Kind: AnalysisLengthSummaries})
+	if err != nil {
+		return nil
+	}
+	return res.LengthSummaries
 }
 
 // SaveBase persists the built ONEX base to a file (versioned binary format
@@ -233,7 +229,7 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	cfg.MinLength = base.MinLength
 	cfg.MaxLength = base.MaxLength
 	if cfg.Band == 0 {
-		cfg.Band = maxInt(4, cfg.MaxLength/10)
+		cfg.Band = max(4, cfg.MaxLength/10)
 	}
 	engine, err := newEngine(normed, base, cfg)
 	if err != nil {

@@ -18,9 +18,20 @@
 //
 // Find executes every similarity scenario — best match, top-K, range, and
 // constrained variants — from one composable Query, honours context
-// cancellation, and reports search statistics. The older per-scenario
-// methods (BestMatch, KBestMatches, WithinThreshold, ...) remain as thin
-// wrappers over Find.
+// cancellation, and reports search statistics. Analyze is its analytics
+// twin: one composable Analysis covers the exploration scenarios (group
+// overview, drill-down, per-length stats, seasonal and common patterns,
+// threshold sweeps and recommendations) with the same cancellation and
+// stats treatment:
+//
+//	res, _ := db.Analyze(ctx, onex.Analysis{
+//		Kind:   onex.AnalysisSeasonal,
+//		Series: "household-00",
+//	})
+//	fmt.Println(res.Patterns[0].Length, res.Patterns[0].Occurrences)
+//
+// The older per-scenario methods (BestMatch, KBestMatches, Seasonal,
+// Overview, ...) remain as thin wrappers over Find and Analyze.
 //
 // Queries and results are in the dataset's original units; normalization
 // is handled internally.
@@ -146,7 +157,7 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 		cfg.MinLength = 2
 	}
 	if cfg.Band == 0 {
-		cfg.Band = maxInt(4, cfg.MaxLength/10)
+		cfg.Band = max(4, cfg.MaxLength/10)
 	}
 	if cfg.ST <= 0 {
 		recs, err := core.RecommendThresholds(normed, core.ThresholdOptions{})
@@ -352,58 +363,49 @@ func (db *DB) BestMatchOtherSeries(seriesName string, start, length int) (Match,
 	return res.Matches[0], nil
 }
 
-// Seasonal finds repeating patterns within one series (paper §3.3,
-// Fig 4). Seasonal mining is group-driven rather than query-driven, so it
-// stays a first-class operation beside Find.
+// Seasonal finds repeating patterns within one series (paper §3.3, Fig 4).
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisSeasonal, Series:
+// seriesName, Lengths: Lengths{Min: minLen, Max: maxLen}, MinOccurrences:
+// minOccurrences}.
 func (db *DB) Seasonal(seriesName string, minLen, maxLen, minOccurrences int) ([]Pattern, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	pats, err := db.engine.Seasonal(seriesName, core.SeasonalOptions{
-		MinLength:      minLen,
-		MaxLength:      maxLen,
+	// This method has always treated non-positive bounds as "the indexed
+	// range"; Analysis spells that 0, so clamp before delegating.
+	res, err := db.Analyze(context.Background(), Analysis{
+		Kind:           AnalysisSeasonal,
+		Series:         seriesName,
+		Lengths:        Lengths{Min: max(minLen, 0), Max: max(maxLen, 0)},
 		MinOccurrences: minOccurrences,
-		Dedup:          true, // suppress sub-window duplicates across lengths
 	})
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Pattern, len(pats))
-	for i, p := range pats {
-		starts := make([]int, len(p.Occurrences))
-		for j, o := range p.Occurrences {
-			starts[j] = o.Start
-		}
-		out[i] = Pattern{
-			Series:      seriesName,
-			Length:      p.Length,
-			Starts:      starts,
-			MeanGap:     p.MeanGap,
-			Occurrences: len(p.Occurrences),
-		}
-	}
-	return out, nil
+	return res.Patterns, nil
 }
 
 // Overview returns the top-k groups of the given length (length 0
 // auto-selects, k<=0 returns all), representatives in original units.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisOverview, Length:
+// length, K: k}.
 func (db *DB) Overview(length, k int) []GroupInfo {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	sums := db.engine.Overview(length, k)
-	out := make([]GroupInfo, len(sums))
-	for i, s := range sums {
-		rep, _ := ts.DenormalizeValues(db.normed, 0, s.Rep)
-		out[i] = GroupInfo{Length: s.Group.Length, Count: s.Count, Rep: rep}
+	res, err := db.Analyze(context.Background(), Analysis{Kind: AnalysisOverview, Length: length, K: k})
+	if err != nil {
+		return nil
 	}
-	return out
+	return res.Groups
 }
 
 // RecommendThresholds surfaces the data-driven threshold suggestions for
 // the (normalized) dataset.
+//
+// Deprecated: use Analyze with Analysis{Kind: AnalysisThresholds}.
 func (db *DB) RecommendThresholds() ([]Recommendation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return core.RecommendThresholds(db.normed, core.ThresholdOptions{})
+	res, err := db.Analyze(context.Background(), Analysis{Kind: AnalysisThresholds})
+	if err != nil {
+		return nil, err
+	}
+	return res.Thresholds.Recommendations, nil
 }
 
 // RecommendForDataset computes threshold recommendations for a dataset
@@ -442,11 +444,4 @@ func (db *DB) SeriesValues(name string) ([]float64, error) {
 	out := make([]float64, s.Len())
 	copy(out, s.Values)
 	return out, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
