@@ -6,12 +6,13 @@
 //
 //	onex gen       -kind matters -indicator GrowthRate -out growth.csv
 //	onex build     -data growth.csv -out growth.base [-st 0.1 -minlen 4 -maxlen 12]
-//	onex query     -data growth.csv -series MA -start 0 -len 12 [-k 5] [-exclude-source] [-mode exact] [-stats]
+//	onex query     -data growth.csv -series MA -start 0 -len 12 [-k 5] [-exclude-source] [-mode exact] [-workers 4] [-stats]
 //	onex query     -data growth.csv -base growth.base -series MA -len 12   # reuse base
-//	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05 [-stats]
+//	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05 [-workers 4] [-stats]
 //
 // query and range both map their flags onto the library's unified
-// onex.Query and run it through DB.Find; Ctrl-C cancels a long search.
+// onex.Query and run it through DB.Find; Ctrl-C cancels a long search and
+// -workers bounds the per-query worker pool (0 = all cores, 1 = serial).
 //
 //	onex analyze   -data growth.csv -kind overview [-length 8 -k 12] [-stats]
 //	onex analyze   -data power.csv -kind seasonal -series household-00 -minlen 12 -maxlen 12
@@ -230,6 +231,7 @@ func cmdRange(args []string) error {
 	length := fs.Int("len", 0, "query window length (required)")
 	maxDist := fs.Float64("maxdist", 0.1, "inclusive distance threshold (normalized per-point units)")
 	limit := fs.Int("limit", 20, "maximum matches to print (0 = all)")
+	workers := fs.Int("workers", 0, "worker pool for the scan (0 = all cores, 1 = serial)")
 	stats := fs.Bool("stats", false, "print search statistics after the results")
 	_ = fs.Parse(args)
 	if *series == "" || *length <= 0 {
@@ -249,6 +251,7 @@ func cmdRange(args []string) error {
 		Window:  onex.Window{Series: *series, Start: *start, Length: *length},
 		MaxDist: *maxDist,
 		K:       *limit,
+		Workers: *workers,
 	})
 	if err != nil {
 		return err
@@ -273,6 +276,7 @@ func cmdQuery(args []string) error {
 	k := fs.Int("k", 1, "number of matches to return")
 	excludeSource := fs.Bool("exclude-source", false, "exclude the whole source series")
 	mode := fs.String("mode", "", "per-query mode override: approx|exact (default: as opened)")
+	workers := fs.Int("workers", 0, "worker pool for the scan (0 = all cores, 1 = serial)")
 	stats := fs.Bool("stats", false, "print search statistics after the results")
 	_ = fs.Parse(args)
 	if *series == "" || *length <= 0 {
@@ -287,6 +291,7 @@ func cmdQuery(args []string) error {
 		K:       *k,
 		Exclude: onex.Exclude{Self: true},
 		Mode:    onex.QueryMode(*mode),
+		Workers: *workers,
 	}
 	if *excludeSource {
 		q.Exclude = onex.Exclude{Series: []string{*series}}
@@ -335,6 +340,7 @@ func cmdAnalyze(args []string) error {
 	start := fs.Int("start", 0, "sweep-query window start (similarity-sweep)")
 	qlen := fs.Int("len", 0, "sweep-query window length (similarity-sweep)")
 	thresholds := fs.String("thresholds", "", "comma-separated sweep thresholds, normalized per-point units (similarity-sweep)")
+	workers := fs.Int("workers", 0, "worker pool for the walk (0 = all cores, 1 = serial)")
 	stats := fs.Bool("stats", false, "print walk statistics after the results")
 	_ = fs.Parse(args)
 	if *kind == "" {
@@ -349,6 +355,7 @@ func cmdAnalyze(args []string) error {
 		Lengths:        onex.Lengths{Min: *of.minLen, Max: *of.maxLen},
 		MinOccurrences: *minOcc,
 		MinSeries:      *minSeries,
+		Workers:        *workers,
 	}
 	if *thresholds != "" {
 		for _, f := range strings.Split(*thresholds, ",") {

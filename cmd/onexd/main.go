@@ -6,12 +6,15 @@
 //	onexd -addr :8080
 //	onexd -addr :8080 -preload growth=matters:GrowthRate,power=electricity
 //	onexd -addr :8080 -data-dir /srv/onex/data
+//	onexd -addr :8080 -max-workers 2
 //
 // Preloaded sources accept the same syntax as POST /api/datasets/load:
 // "matters:<Indicator>", "electricity", "cbf", "walks", "file:<path>".
 // -data-dir restricts the load endpoint's file: sources to one directory;
 // without it any server-readable path may be loaded (the historical demo
-// behaviour, fine when operator == analyst).
+// behaviour, fine when operator == analyst). -max-workers caps the worker
+// pool any single query or analyze request may claim, so one client cannot
+// monopolize the box (default: GOMAXPROCS).
 package main
 
 import (
@@ -34,11 +37,15 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	preload := flag.String("preload", "", "comma-separated name=source pairs to load at startup")
 	dataDir := flag.String("data-dir", "", "restrict file: load sources to this directory (default: unrestricted)")
+	maxWorkers := flag.Int("max-workers", 0, "per-request cap on query/analyze worker pools (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var opts []server.Option
 	if *dataDir != "" {
 		opts = append(opts, server.WithDataDir(*dataDir))
+	}
+	if *maxWorkers > 0 {
+		opts = append(opts, server.WithMaxWorkers(*maxWorkers))
 	}
 	srv := server.New(opts...)
 	if *preload != "" {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/grouping"
 	"repro/internal/ts"
 )
 
@@ -38,6 +39,11 @@ type CommonOptions struct {
 	MinLength, MaxLength int
 	// MaxPatterns caps the result list (default 16).
 	MaxPatterns int
+	// Workers bounds the worker pool the group scan is sharded across
+	// (values < 1 select GOMAXPROCS, 1 forces the serial path). The mine is
+	// a pure read of the base, so results and statistics are identical at
+	// every worker count.
+	Workers int
 }
 
 // CommonPatterns finds shapes shared across series, ranked by the number
@@ -74,50 +80,61 @@ func (e *Engine) CommonPatternsContext(ctx context.Context, opts CommonOptions, 
 		maxPatterns = 16
 	}
 
-	var out []CommonPattern
+	type job struct {
+		l, gi int
+		g     *grouping.Group
+	}
+	var jobs []job
 	for _, l := range e.base.Lengths() {
 		if l < minL || l > maxL {
 			continue
 		}
 		for gi, g := range e.base.GroupsOfLength(l) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if st != nil {
-				st.Groups++
-				st.Members += len(g.Members)
-			}
-			perSeries := map[int]ts.SubSeq{}
-			perSeriesD := map[int]float64{}
-			for mi, m := range g.Members {
-				if mi%ctxCheckStride == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-				}
-				d := dist.ED(m.Values(e.ds), g.Rep)
-				if prev, ok := perSeriesD[m.Series]; !ok || d < prev {
-					perSeries[m.Series] = m
-					perSeriesD[m.Series] = d
-				}
-			}
-			if len(perSeries) < minSeries {
-				continue
-			}
-			occ := make([]ts.SubSeq, 0, len(perSeries))
-			for _, m := range perSeries {
-				occ = append(occ, m)
-			}
-			sort.Slice(occ, func(i, j int) bool { return occ[i].Series < occ[j].Series })
-			out = append(out, CommonPattern{
-				Group:        GroupRef{Length: l, Index: gi},
-				Length:       l,
-				Rep:          g.Rep,
-				SeriesCount:  len(perSeries),
-				Occurrences:  occ,
-				TotalMembers: len(g.Members),
-			})
+			jobs = append(jobs, job{l: l, gi: gi, g: g})
 		}
+	}
+	// mineGroup reduces one group to its per-series exemplars; st may be a
+	// worker-local accumulator.
+	mineGroup := func(j job, st *SearchStats) (CommonPattern, bool, error) {
+		if st != nil {
+			st.Groups++
+			st.Members += len(j.g.Members)
+		}
+		perSeries := map[int]ts.SubSeq{}
+		perSeriesD := map[int]float64{}
+		for mi, m := range j.g.Members {
+			if mi%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return CommonPattern{}, false, err
+				}
+			}
+			d := dist.ED(m.Values(e.ds), j.g.Rep)
+			if prev, ok := perSeriesD[m.Series]; !ok || d < prev {
+				perSeries[m.Series] = m
+				perSeriesD[m.Series] = d
+			}
+		}
+		if len(perSeries) < minSeries {
+			return CommonPattern{}, false, nil
+		}
+		occ := make([]ts.SubSeq, 0, len(perSeries))
+		for _, m := range perSeries {
+			occ = append(occ, m)
+		}
+		sort.Slice(occ, func(i, j int) bool { return occ[i].Series < occ[j].Series })
+		return CommonPattern{
+			Group:        GroupRef{Length: j.l, Index: j.gi},
+			Length:       j.l,
+			Rep:          j.g.Rep,
+			SeriesCount:  len(perSeries),
+			Occurrences:  occ,
+			TotalMembers: len(j.g.Members),
+		}, true, nil
+	}
+
+	out, err := scanGroups(ctx, opts.Workers, jobs, st, mineGroup)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].SeriesCount != out[j].SeriesCount {

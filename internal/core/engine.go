@@ -70,6 +70,12 @@ type Options struct {
 	// per-point discrepancy. Match.Score carries the ranking value either
 	// way.
 	LengthNorm bool
+	// Workers bounds the worker pool one search may shard its group scans
+	// across (representative scoring, member refinement, range scans).
+	// Values < 1 select GOMAXPROCS; 1 forces the serial code paths. Small
+	// scans stay serial regardless — see parallel.go for the thresholds and
+	// the determinism contract.
+	Workers int
 }
 
 // Engine binds a normalized dataset to its ONEX base and answers

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/dist"
+	"repro/internal/grouping"
 )
 
 // RangeOptions configures WithinThreshold.
@@ -33,10 +34,24 @@ func (e *Engine) WithinThreshold(q []float64, opts RangeOptions) ([]Match, error
 	return e.withinThreshold(context.Background(), q, opts, e.opts, nil)
 }
 
+// rangeJob is one group to scan plus the per-length precomputation shared
+// (read-only) by every group of that length.
+type rangeJob struct {
+	ref    GroupRef
+	g      *grouping.Group
+	norm   float64
+	rawMax float64
+	slack  float64
+	qU, qL []float64
+}
+
 // withinThreshold is WithinThreshold with an explicit context, per-call
-// engine options, and optional statistics collection. The context is
-// checked once per group and every ctxCheckStride members, so cancelled
-// range scans abort within one pruning round.
+// engine options, and optional statistics collection. The group scan is
+// sharded across callOpts.Workers goroutines when the base is large; the
+// threshold bound is fixed, so results and statistics are identical at
+// every worker count. Each worker checks the context once per group and
+// every ctxCheckStride members, so cancelled range scans abort within one
+// pruning round.
 func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOptions, callOpts Options, st *SearchStats) ([]Match, error) {
 	if len(q) < 2 {
 		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
@@ -48,78 +63,104 @@ func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOpt
 	if len(lengths) == 0 {
 		return nil, ErrNoMatch
 	}
-	var out []Match
+	var jobs []rangeJob
 	for _, l := range lengths {
 		groups := e.base.GroupsOfLength(l)
 		if len(groups) == 0 {
 			continue
 		}
 		norm := callOpts.norm(len(q), l)
-		rawMax := opts.MaxDist * norm
 		qU, qL := dist.Envelope(q, l, callOpts.Band)
 		w := dist.EffectiveBand(len(q), l, callOpts.Band)
 		slack := float64(2*w+1) * e.base.HalfST(l)
 		for gi, g := range groups {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if st != nil {
-				st.Groups++
-				st.RepDTW++
-			}
-			// Certified skip: if DTW(q, rep) - slack > rawMax then every
-			// member is provably outside the threshold.
-			repDist := dist.DTWEarlyAbandon(q, g.Rep, callOpts.Band, rawMax+slack)
-			if math.IsInf(repDist, 1) {
-				if st != nil {
-					st.GroupsLBPruned++
-				}
-				continue
-			}
-			if st != nil {
-				st.GroupsRefined++
-				st.Members += len(g.Members)
-			}
-			for mi, m := range g.Members {
-				if mi%ctxCheckStride == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-				}
-				if opts.Constraints.excludes(m) {
-					continue
-				}
-				mv := m.Values(e.ds)
-				if dist.LBKim(q, mv) > rawMax {
-					continue
-				}
-				if dist.LBKeogh(mv, qU, qL, rawMax) > rawMax {
-					continue
-				}
-				if st != nil {
-					st.MemberDTW++
-				}
-				d := dist.DTWEarlyAbandon(q, mv, callOpts.Band, rawMax)
-				// Early abandoning may return a finite value above the
-				// bound when no full DP row exceeded it; filter explicitly.
-				if math.IsInf(d, 1) || d > rawMax {
-					continue
-				}
-				out = append(out, Match{
-					Ref:     m,
-					Values:  mv,
-					Dist:    d,
-					Score:   d / norm,
-					RepDist: repDist,
-					Group:   GroupRef{Length: l, Index: gi},
-				})
-			}
+			jobs = append(jobs, rangeJob{
+				ref:    GroupRef{Length: l, Index: gi},
+				g:      g,
+				norm:   norm,
+				rawMax: opts.MaxDist * norm,
+				slack:  slack,
+				qU:     qU,
+				qL:     qL,
+			})
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Score < out[j].Score })
+
+	perGroup, err := scanGroups(ctx, callOpts.Workers, jobs, st,
+		func(job rangeJob, st *SearchStats) ([]Match, bool, error) {
+			ms, err := e.rangeScanGroup(ctx, q, job, opts.Constraints, callOpts, st)
+			return ms, len(ms) > 0, err
+		})
+	if err != nil {
+		return nil, err
+	}
+	var out []Match
+	for _, ms := range perGroup {
+		out = append(out, ms...)
+	}
+	sort.Slice(out, func(i, j int) bool { return matchBefore(out[i], out[j]) })
 	if opts.Limit > 0 && len(out) > opts.Limit {
 		out = out[:opts.Limit]
 	}
 	// Paths only for the returned set.
 	return e.finishMatches(q, out, callOpts), nil
+}
+
+// rangeScanGroup applies the certified group skip and, when the group
+// survives, scans its members against the fixed threshold, returning every
+// in-range match. st may be a worker-local accumulator.
+func (e *Engine) rangeScanGroup(ctx context.Context, q []float64, job rangeJob, c QueryConstraints, callOpts Options, st *SearchStats) ([]Match, error) {
+	if st != nil {
+		st.Groups++
+		st.RepDTW++
+	}
+	// Certified skip: if DTW(q, rep) - slack > rawMax then every member is
+	// provably outside the threshold.
+	repDist := dist.DTWEarlyAbandon(q, job.g.Rep, callOpts.Band, job.rawMax+job.slack)
+	if math.IsInf(repDist, 1) {
+		if st != nil {
+			st.GroupsLBPruned++
+		}
+		return nil, nil
+	}
+	if st != nil {
+		st.GroupsRefined++
+		st.Members += len(job.g.Members)
+	}
+	var out []Match
+	for mi, m := range job.g.Members {
+		if mi%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if c.excludes(m) {
+			continue
+		}
+		mv := m.Values(e.ds)
+		if dist.LBKim(q, mv) > job.rawMax {
+			continue
+		}
+		if dist.LBKeogh(mv, job.qU, job.qL, job.rawMax) > job.rawMax {
+			continue
+		}
+		if st != nil {
+			st.MemberDTW++
+		}
+		d := dist.DTWEarlyAbandon(q, mv, callOpts.Band, job.rawMax)
+		// Early abandoning may return a finite value above the bound when no
+		// full DP row exceeded it; filter explicitly.
+		if math.IsInf(d, 1) || d > job.rawMax {
+			continue
+		}
+		out = append(out, Match{
+			Ref:     m,
+			Values:  mv,
+			Dist:    d,
+			Score:   d / job.norm,
+			RepDist: repDist,
+			Group:   job.ref,
+		})
+	}
+	return out, nil
 }

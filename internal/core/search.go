@@ -135,69 +135,48 @@ type repCandidate struct {
 // of the candidate lengths, with an LB_Kim + LB_Keogh + early-abandon
 // cascade against the running k-th best representative score. Groups whose
 // representative provably cannot enter the top-k are returned with
-// repDist = +Inf. st, when non-nil, accumulates search statistics. The
-// context is checked once per group, so a cancelled scan aborts before the
-// next representative is scored.
+// repDist = +Inf. st, when non-nil, accumulates search statistics. The scan
+// is sharded across Options.Workers goroutines when the group list is large
+// (see parallel.go); with one worker the context is checked once per group,
+// so a cancelled scan aborts before the next representative is scored.
 func (e *Engine) scoreRepresentatives(ctx context.Context, q []float64, k int, lengths []int, opts Options, st *SearchStats) ([]repCandidate, error) {
-	var cands []repCandidate
+	jobs := e.flattenGroups(q, lengths, opts)
+	workers := resolveWorkers(opts.Workers, len(jobs))
+	if workers > 1 && len(jobs) >= minParallelGroups {
+		return e.scoreRepsParallel(ctx, q, k, jobs, opts, st, workers)
+	}
+	cands := make([]repCandidate, 0, len(jobs))
 	// kth tracks the k-th best representative score seen so far; the raw
-	// abandon bound per length is score bound * norm.
+	// abandon bound per job is score bound * norm.
 	kth := newKthTracker(k)
-	for _, l := range lengths {
-		groups := e.base.GroupsOfLength(l)
-		if len(groups) == 0 {
-			continue
+	for _, job := range jobs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		norm := opts.norm(len(q), l)
-		// One query envelope per candidate length: upper[j]/lower[j] bound
-		// q over the band window around rep position j, giving
-		// LBKeogh(rep, qU, qL) <= DTW(q, rep).
-		qU, qL := dist.Envelope(q, l, opts.Band)
-		for gi, g := range groups {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if st != nil {
-				st.Groups++
-			}
-			ub := kth.bound() * norm // raw-distance bound for this length
-			var repDist float64
-			if dist.LBKim(q, g.Rep) > ub {
-				repDist = math.Inf(1)
-				if st != nil {
-					st.GroupsLBPruned++
-				}
-			} else if dist.LBKeogh(g.Rep, qU, qL, ub) > ub {
-				repDist = math.Inf(1)
-				if st != nil {
-					st.GroupsLBPruned++
-				}
-			} else {
-				if st != nil {
-					st.RepDTW++
-				}
-				repDist = dist.DTWEarlyAbandon(q, g.Rep, opts.Band, ub)
-				if st != nil && math.IsInf(repDist, 1) {
-					// Abandoned against the k-th best bound: the group is
-					// pruned exactly like an LB rejection (and un-counted
-					// if a fallback later recomputes it).
-					st.GroupsLBPruned++
-				}
-			}
-			score := repDist / norm
-			if !math.IsInf(repDist, 1) {
-				kth.offer(score)
-			}
-			cands = append(cands, repCandidate{
-				ref:      GroupRef{Length: l, Index: gi},
-				g:        g,
-				repDist:  repDist,
-				repScore: score,
-				norm:     norm,
-			})
+		repDist := scoreJob(q, job, kth.bound()*job.norm, opts.Band, st)
+		score := repDist / job.norm
+		if !math.IsInf(repDist, 1) {
+			kth.offer(score)
 		}
+		cands = append(cands, repCandidate{ref: job.ref, g: job.g, repDist: repDist, repScore: score, norm: job.norm})
 	}
 	return cands, nil
+}
+
+// sortCandidates orders group candidates by representative score, pruned
+// (+Inf) candidates last, breaking ties by group identity so the walk order
+// — and with it the refined set — is deterministic at every worker count.
+func sortCandidates(cands []repCandidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := &cands[i], &cands[j]
+		if a.repScore != b.repScore {
+			return a.repScore < b.repScore
+		}
+		if a.ref.Length != b.ref.Length {
+			return a.ref.Length < b.ref.Length
+		}
+		return a.ref.Index < b.ref.Index
+	})
 }
 
 // kbestApprox implements the paper's search: pick the top-k groups by
@@ -207,49 +186,40 @@ func (e *Engine) kbestApprox(ctx context.Context, q []float64, k int, c QueryCon
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
+	sortCandidates(cands)
 
 	// Refine within the most promising groups. To fill k results we may
 	// need more than k groups when constraints exclude members, so walk
 	// groups in rep order until k matches are collected (or candidates are
 	// exhausted).
 	top := newTopK(k)
-	for _, cand := range cands {
-		if math.IsInf(cand.repDist, 1) {
-			break // remaining groups were pruned against the k-th best rep
+	resolved := false
+	for i := 0; i < len(cands); i++ {
+		if !resolved && (i >= k || math.IsInf(cands[i].repDist, 1)) {
+			// End of the deterministic prefix: the k best representatives are
+			// exactly scored in every run, but beyond them which groups the
+			// scoring pass LB-pruned depends on scan order (and, with
+			// Workers > 1, on scheduling). Resolve the tail — recompute every
+			// pruned representative and re-sort by true score — so the walk
+			// continues in true representative order regardless, and a
+			// constrained query that under-fills stops at the same cutoff as
+			// the main loop instead of degenerating into a near-exhaustive
+			// member scan of every pruned group.
+			if err := e.resolveCandidates(ctx, q, cands[i:], opts, st); err != nil {
+				return nil, err
+			}
+			sortCandidates(cands[i:])
+			resolved = true
 		}
+		cand := cands[i]
 		if top.full() && cand.repScore > top.worst().Score {
 			// A group whose representative already scores worse than every
 			// collected member cannot improve an approximate top-k
 			// (heuristic: members can score below their representative).
 			break
 		}
-		if err := e.refineGroup(ctx, q, cand, c, top, opts, st); err != nil {
+		if err := e.refine(ctx, q, cand, c, top, opts, st); err != nil {
 			return nil, err
-		}
-	}
-	// Constraints may have excluded every member of the promising groups;
-	// fall back to the groups whose representatives were LB-pruned during
-	// scoring so constrained queries still fill k results when possible.
-	if top.len() < k {
-		for i := range cands {
-			if !math.IsInf(cands[i].repDist, 1) {
-				continue
-			}
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if st != nil {
-				// The group is un-pruned after all: keep the pruned/refined
-				// counters disjoint.
-				st.GroupsLBPruned--
-				st.RepDTW++
-			}
-			cands[i].repDist = dist.DTWBanded(q, cands[i].g.Rep, opts.Band)
-			cands[i].repScore = cands[i].repDist / cands[i].norm
-			if err := e.refineGroup(ctx, q, cands[i], c, top, opts, st); err != nil {
-				return nil, err
-			}
 		}
 	}
 	if top.len() == 0 {
@@ -265,42 +235,65 @@ func (e *Engine) kbestExact(ctx context.Context, q []float64, k int, c QueryCons
 	if err != nil {
 		return nil, err
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].repScore < cands[j].repScore })
+	// The kth tracker saturates at 1024, so on large bases a tail of
+	// representatives is LB-abandoned even in exact mode; recompute them
+	// all (in parallel when allowed) so the certified bound below sees true
+	// distances, and walk groups in true representative-score order.
+	if err := e.resolveCandidates(ctx, q, cands, opts, st); err != nil {
+		return nil, err
+	}
+	sortCandidates(cands)
 
+	// The walk proceeds in fixed-size waves: between waves the certified
+	// transfer bound is re-evaluated against the tightened top-k (exactly
+	// like the old per-group check, at wave granularity), and within a wave
+	// every surviving group is refined — across the worker pool when one is
+	// configured. The wave size is a constant, so the set of refined groups
+	// is identical at every worker count; only the member-level DTW/abandon
+	// split depends on scheduling.
+	//
+	// certLower is the certified lower bound for every member s of a group:
+	// DTW(q,s) >= DTW(q,rep) - mu*ED(rep,s) >= repDist - mu*ST_l/2, where mu
+	// is bounded by the band geometry of the (q,s) grid and ST_l is the
+	// absolute threshold at the group's length.
+	certLower := func(cand repCandidate) float64 {
+		w := dist.EffectiveBand(len(q), cand.g.Length, opts.Band)
+		mu := float64(2*w + 1)
+		return (cand.repDist - mu*e.base.HalfST(cand.g.Length)) / cand.norm
+	}
 	top := newTopK(k)
-	for _, cand := range cands {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if math.IsInf(cand.repDist, 1) {
-			// The kth tracker saturates at 1024, so on large bases a tail
-			// of representatives is LB-abandoned even in exact mode;
-			// recompute them so the certified bound below sees a true
-			// distance, and un-count the prune.
-			if st != nil {
-				st.GroupsLBPruned--
-				st.RepDTW++
+	workers := resolveWorkers(opts.Workers, exactWave)
+	wave := make([]repCandidate, 0, exactWave)
+	for idx := 0; idx < len(cands); {
+		// Collect the next wave of groups the certified bound cannot skip.
+		wave = wave[:0]
+		for idx < len(cands) && len(wave) < exactWave {
+			if err := ctx.Err(); err != nil {
+				return nil, err
 			}
-			cand.repDist = dist.DTWBanded(q, cand.g.Rep, opts.Band)
-			cand.repScore = cand.repDist / cand.norm
-		}
-		if top.full() {
-			// Certified lower bound for every member s of this group:
-			// DTW(q,s) >= DTW(q,rep) - mu*ED(rep,s) >= repDist - mu*ST_l/2,
-			// where mu is bounded by the band geometry of the (q,s) grid
-			// and ST_l is the absolute threshold at this group's length.
-			w := dist.EffectiveBand(len(q), cand.g.Length, opts.Band)
-			mu := float64(2*w + 1)
-			lower := (cand.repDist - mu*e.base.HalfST(cand.g.Length)) / cand.norm
-			if lower > top.worst().Score {
+			cand := cands[idx]
+			idx++
+			if top.full() && certLower(cand) > top.worst().Score {
 				if st != nil {
 					st.GroupsLBPruned++
 				}
 				continue // provably cannot improve the top-k
 			}
+			wave = append(wave, cand)
 		}
-		if err := e.refineGroup(ctx, q, cand, c, top, opts, st); err != nil {
-			return nil, err
+		if len(wave) == 0 {
+			continue
+		}
+		if workers > 1 && len(wave) > 1 {
+			if err := e.refineWaveParallel(ctx, q, wave, c, top, opts, st, workers); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, cand := range wave {
+				if err := e.refine(ctx, q, cand, c, top, opts, st); err != nil {
+					return nil, err
+				}
+			}
 		}
 	}
 	if top.len() == 0 {
@@ -309,10 +302,26 @@ func (e *Engine) kbestExact(ctx context.Context, q []float64, k int, c QueryCons
 	return e.finishMatches(q, top.sorted(), opts), nil
 }
 
+// matchSink abstracts the accumulator a member scan offers into: the plain
+// topK on serial walks, the mutex-guarded sharedTopK when several workers
+// feed one accumulator (parallel.go). boundScore is the current k-th best
+// score (+Inf until full), the member-level pruning bound.
+type matchSink interface {
+	offer(Match)
+	boundScore() float64
+}
+
+func (t *topK) boundScore() float64 {
+	if t.full() {
+		return t.worst().Score
+	}
+	return math.Inf(1)
+}
+
 // refineGroup scans a group's members with an LB cascade and early-abandon
 // DTW, offering improvements to the top-k accumulator. The context is
 // re-checked every ctxCheckStride members so large groups abandon promptly.
-func (e *Engine) refineGroup(ctx context.Context, q []float64, cand repCandidate, c QueryConstraints, top *topK, opts Options, st *SearchStats) error {
+func (e *Engine) refineGroup(ctx context.Context, q []float64, cand repCandidate, c QueryConstraints, top matchSink, opts Options, st *SearchStats) error {
 	l := cand.g.Length
 	qU, qL := dist.Envelope(q, l, opts.Band)
 	if st != nil {
@@ -329,10 +338,7 @@ func (e *Engine) refineGroup(ctx context.Context, q []float64, cand repCandidate
 			continue
 		}
 		mv := m.Values(e.ds)
-		ub := math.Inf(1)
-		if top.full() {
-			ub = top.worst().Score * cand.norm // raw-distance bound
-		}
+		ub := top.boundScore() * cand.norm // raw-distance bound
 		if dist.LBKim(q, mv) > ub {
 			continue
 		}
@@ -368,6 +374,23 @@ func (e *Engine) finishMatches(q []float64, ms []Match, opts Options) []Match {
 	return ms
 }
 
+// matchBefore is the total result order: ascending Score, ties broken by
+// subsequence identity. A total order keeps accumulators (and final result
+// lists) deterministic regardless of offer order, which parallel member
+// refinement depends on.
+func matchBefore(a, b Match) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	if a.Ref.Series != b.Ref.Series {
+		return a.Ref.Series < b.Ref.Series
+	}
+	if a.Ref.Start != b.Ref.Start {
+		return a.Ref.Start < b.Ref.Start
+	}
+	return a.Ref.Length < b.Ref.Length
+}
+
 // topK accumulates the k best matches seen, deduplicating by Ref.
 type topK struct {
 	k  int
@@ -397,7 +420,7 @@ func (t *topK) offer(m Match) {
 		t.restore()
 		return
 	}
-	if m.Score < t.ms[len(t.ms)-1].Score {
+	if matchBefore(m, t.ms[len(t.ms)-1]) {
 		t.ms[len(t.ms)-1] = m
 		t.restore()
 	}
@@ -406,7 +429,7 @@ func (t *topK) offer(m Match) {
 // restore re-sorts the small accumulator (k is tiny; insertion sort).
 func (t *topK) restore() {
 	for i := len(t.ms) - 1; i > 0; i-- {
-		if t.ms[i].Score < t.ms[i-1].Score {
+		if matchBefore(t.ms[i], t.ms[i-1]) {
 			t.ms[i], t.ms[i-1] = t.ms[i-1], t.ms[i]
 		} else {
 			break
@@ -437,15 +460,19 @@ func newKthTracker(k int) *kthTracker {
 	return &kthTracker{k: k}
 }
 
+// offer inserts v with a single insertion shift (the slice is always
+// sorted, so a full re-sort per improvement would waste O(k log k) on
+// every group).
 func (kt *kthTracker) offer(v float64) {
 	if len(kt.vals) < kt.k {
 		kt.vals = append(kt.vals, v)
-		sort.Float64s(kt.vals)
+	} else if v < kt.vals[kt.k-1] {
+		kt.vals[kt.k-1] = v
+	} else {
 		return
 	}
-	if v < kt.vals[kt.k-1] {
-		kt.vals[kt.k-1] = v
-		sort.Float64s(kt.vals)
+	for i := len(kt.vals) - 1; i > 0 && kt.vals[i] < kt.vals[i-1]; i-- {
+		kt.vals[i], kt.vals[i-1] = kt.vals[i-1], kt.vals[i]
 	}
 }
 

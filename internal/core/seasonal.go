@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/grouping"
 	"repro/internal/ts"
 )
 
@@ -46,6 +47,11 @@ type SeasonalOptions struct {
 	// overlapping some occurrence of Q). Multi-length mining otherwise
 	// reports every sub-window of a long motif as its own pattern.
 	Dedup bool
+	// Workers bounds the worker pool the group scan is sharded across
+	// (values < 1 select GOMAXPROCS, 1 forces the serial path). The mine is
+	// a pure read of the base, so results and statistics are identical at
+	// every worker count.
+	Workers int
 }
 
 // Seasonal finds repeating patterns within the named series by mining the
@@ -101,47 +107,58 @@ func (e *Engine) SeasonalByIndexContext(ctx context.Context, si int, opts Season
 		maxPatterns = 16
 	}
 
-	var patterns []Pattern
+	type job struct {
+		l, gi int
+		g     *grouping.Group
+	}
+	var jobs []job
 	for _, l := range e.base.Lengths() {
 		if l < minL || l > maxL {
 			continue
 		}
 		for gi, g := range e.base.GroupsOfLength(l) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if st != nil {
-				st.Groups++
-				st.Members += len(g.Members)
-			}
-			// Collect this series' members of the group.
-			var mine []ts.SubSeq
-			for mi, m := range g.Members {
-				if mi%ctxCheckStride == 0 {
-					if err := ctx.Err(); err != nil {
-						return nil, err
-					}
-				}
-				if m.Series == si {
-					mine = append(mine, m)
-				}
-			}
-			if len(mine) < minOcc {
-				continue
-			}
-			occ := selectNonOverlapping(mine)
-			if len(occ) < minOcc {
-				continue
-			}
-			patterns = append(patterns, Pattern{
-				SeriesIndex: si,
-				Length:      l,
-				Occurrences: occ,
-				Group:       GroupRef{Length: l, Index: gi},
-				Rep:         g.Rep,
-				MeanGap:     meanGap(occ),
-			})
+			jobs = append(jobs, job{l: l, gi: gi, g: g})
 		}
+	}
+	// mineGroup scans one group for this series' recurrences; st may be a
+	// worker-local accumulator.
+	mineGroup := func(j job, st *SearchStats) (Pattern, bool, error) {
+		if st != nil {
+			st.Groups++
+			st.Members += len(j.g.Members)
+		}
+		// Collect this series' members of the group.
+		var mine []ts.SubSeq
+		for mi, m := range j.g.Members {
+			if mi%ctxCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return Pattern{}, false, err
+				}
+			}
+			if m.Series == si {
+				mine = append(mine, m)
+			}
+		}
+		if len(mine) < minOcc {
+			return Pattern{}, false, nil
+		}
+		occ := selectNonOverlapping(mine)
+		if len(occ) < minOcc {
+			return Pattern{}, false, nil
+		}
+		return Pattern{
+			SeriesIndex: si,
+			Length:      j.l,
+			Occurrences: occ,
+			Group:       GroupRef{Length: j.l, Index: j.gi},
+			Rep:         j.g.Rep,
+			MeanGap:     meanGap(occ),
+		}, true, nil
+	}
+
+	patterns, err := scanGroups(ctx, opts.Workers, jobs, st, mineGroup)
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(patterns, func(i, j int) bool {
 		if len(patterns[i].Occurrences) != len(patterns[j].Occurrences) {

@@ -115,6 +115,12 @@ type Base struct {
 	ByLength map[int]*LengthGroups
 
 	BuildStats BuildStats
+
+	// indexed tracks which series indices have already been built or
+	// streamed into the base, making AddSeries' double-insertion check O(1)
+	// instead of a scan over every member of every group. It is not
+	// serialized; Read recomputes it from the stored membership.
+	indexed map[int]bool
 }
 
 // ErrNoData is returned when the dataset has no subsequence in range.
@@ -187,6 +193,16 @@ func Build(d *ts.Dataset, opts Options) (*Base, error) {
 		MinLength:   minLen,
 		MaxLength:   maxLen,
 		ByLength:    make(map[int]*LengthGroups),
+		indexed:     make(map[int]bool, d.Len()),
+	}
+	// Mark every series that contributed windows. Series shorter than
+	// MinLength contribute nothing and stay unmarked — re-streaming one is
+	// an accepted no-op, exactly like the old member-scan check (and like a
+	// base reloaded from disk, where only membership survives).
+	for si, s := range d.Series {
+		if s.Len() >= minLen {
+			b.indexed[si] = true
+		}
 	}
 	for _, res := range results {
 		if res.lg == nil || len(res.lg.Groups) == 0 {

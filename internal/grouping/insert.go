@@ -24,16 +24,11 @@ func (b *Base) AddSeries(d *ts.Dataset, si int) error {
 		return fmt.Errorf("grouping: AddSeries: series index %d out of range", si)
 	}
 	s := d.Series[si]
-	// Reject double-insertion: if any window of this series is already a
-	// member, the caller is misusing the API.
-	for _, lg := range b.ByLength {
-		for _, g := range lg.Groups {
-			for _, m := range g.Members {
-				if m.Series == si {
-					return fmt.Errorf("grouping: AddSeries: series %d already indexed", si)
-				}
-			}
-		}
+	// Reject double-insertion: the caller is misusing the API. The indexed
+	// set makes this O(1) per call instead of a scan over every member of
+	// every group (O(total subsequences) per streamed series).
+	if b.indexed[si] {
+		return fmt.Errorf("grouping: AddSeries: series %d already indexed", si)
 	}
 	added := 0
 	for l := b.MinLength; l <= b.MaxLength && l <= s.Len(); l++ {
@@ -76,8 +71,33 @@ func (b *Base) AddSeries(d *ts.Dataset, si int) error {
 			return len(lg.Groups[i].Members) > len(lg.Groups[j].Members)
 		})
 	}
+	if added > 0 {
+		// Series too short to contribute stay unmarked, so re-streaming one
+		// remains an accepted no-op (matching the old member-scan check and
+		// a base reloaded from disk).
+		if b.indexed == nil {
+			b.indexed = make(map[int]bool)
+		}
+		b.indexed[si] = true
+	}
 	b.BuildStats.NumWindows += added
 	b.BuildStats.NumGroups = b.NumGroups()
 	b.DatasetSum = DatasetChecksum(d)
 	return nil
+}
+
+// reindexSeries rebuilds the indexed-series set from the stored membership
+// (used after deserialization, where only members are persisted). The set
+// always equals "series with at least one member" — Build and AddSeries
+// maintain the same invariant — so a reloaded base behaves identically to
+// a fresh one.
+func (b *Base) reindexSeries() {
+	b.indexed = make(map[int]bool)
+	for _, lg := range b.ByLength {
+		for _, g := range lg.Groups {
+			for _, m := range g.Members {
+				b.indexed[m.Series] = true
+			}
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package grouping
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -60,6 +61,64 @@ func TestAddSeriesRejectsDoubleInsert(t *testing.T) {
 	if err := b.AddSeries(d, 99); err == nil {
 		t.Fatal("out-of-range index accepted")
 	}
+	// A streamed series is tracked too: inserting it again must fail
+	// without a member scan.
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 20)
+	v := 0.5
+	for i := range vals {
+		v += rng.NormFloat64() * 0.03
+		vals[i] = v
+	}
+	d.MustAdd(ts.NewSeries("ZZstream", vals))
+	if err := b.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddSeries(d, d.Len()-1); err == nil {
+		t.Fatal("double insertion of a streamed series accepted")
+	}
+}
+
+// TestAddSeriesDoubleInsertAfterLoad pins that the O(1) indexed-series set
+// — which is not part of the wire format — is recomputed from the stored
+// membership on load, so a deserialized base still rejects re-streaming.
+func TestAddSeriesDoubleInsertAfterLoad(t *testing.T) {
+	d := testDataset(t, 4, 20, 46)
+	b, err := Build(d, Options{ST: 0.05, MinLength: 4, MaxLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := 0; si < d.Len(); si++ {
+		if err := loaded.AddSeries(d, si); err == nil {
+			t.Fatalf("loaded base accepted double insertion of series %d", si)
+		}
+	}
+	// Fresh series still stream in after a load, and get tracked.
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]float64, 20)
+	v := 0.5
+	for i := range vals {
+		v += rng.NormFloat64() * 0.03
+		vals[i] = v
+	}
+	d.MustAdd(ts.NewSeries("ZZpostload", vals))
+	if err := loaded.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.AddSeries(d, d.Len()-1); err == nil {
+		t.Fatal("loaded base accepted double insertion of a streamed series")
+	}
+	if err := loaded.Validate(d); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestAddSeriesKeepsGroupOrdering(t *testing.T) {
@@ -104,6 +163,11 @@ func TestAddSeriesShortSeries(t *testing.T) {
 	}
 	if b.NumSubsequences() != before {
 		t.Fatal("short series contributed windows")
+	}
+	// Windowless series are not tracked as indexed, so re-streaming one
+	// stays an accepted no-op (on a fresh and a reloaded base alike).
+	if err := b.AddSeries(d, d.Len()-1); err != nil {
+		t.Fatalf("re-adding a windowless series: %v", err)
 	}
 	if err := b.Validate(d); err != nil {
 		t.Fatal(err)

@@ -236,6 +236,10 @@ func Read(r io.Reader) (*Base, error) {
 	if got := binary.LittleEndian.Uint32(crcBuf[:]); got != wantCRC {
 		return nil, fmt.Errorf("grouping: Read: CRC mismatch: stored %08x, computed %08x", got, wantCRC)
 	}
+	// The indexed-series set is not part of the wire format; recompute it
+	// from the membership so AddSeries keeps its O(1) double-insert check
+	// after a load.
+	b.reindexSeries()
 	return b, nil
 }
 

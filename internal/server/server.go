@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"net/http"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -54,10 +55,11 @@ import (
 
 // Server holds the loaded ONEX databases. Safe for concurrent use.
 type Server struct {
-	mu      sync.RWMutex
-	dbs     map[string]*onex.DB
-	mux     *http.ServeMux
-	dataDir string // when set, "file:" load sources must resolve inside it
+	mu         sync.RWMutex
+	dbs        map[string]*onex.DB
+	mux        *http.ServeMux
+	dataDir    string // when set, "file:" load sources must resolve inside it
+	maxWorkers int    // per-request cap on Query/Analysis Workers (0 = GOMAXPROCS)
 }
 
 // Option customizes a Server at construction.
@@ -71,6 +73,29 @@ type Option func(*Server)
 // person (the CLI demo).
 func WithDataDir(dir string) Option {
 	return func(s *Server) { s.dataDir = dir }
+}
+
+// WithMaxWorkers caps the per-request Workers knob on the query and
+// analyze endpoints at n, so a single request cannot monopolize the box
+// under concurrent traffic. The default cap is GOMAXPROCS; requests asking
+// for 0 ("all cores") or more than the cap are clamped to it, requests
+// asking for less keep their value.
+func WithMaxWorkers(n int) Option {
+	return func(s *Server) { s.maxWorkers = n }
+}
+
+// capWorkers clamps a request's Workers field to the server's per-request
+// limit. Negative values pass through so the library rejects them with its
+// own validation error.
+func (s *Server) capWorkers(w int) int {
+	limit := s.maxWorkers
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	if w == 0 || w > limit {
+		return limit
+	}
+	return w
 }
 
 // New builds an empty server.
@@ -361,6 +386,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	a.Workers = s.capWorkers(a.Workers)
 	res, err := db.Analyze(r.Context(), a)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -384,6 +410,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	q.Workers = s.capWorkers(q.Workers)
 	res, err := db.Find(r.Context(), q)
 	switch {
 	case errors.Is(err, onex.ErrNoMatch):
@@ -452,6 +479,7 @@ func (s *Server) handleSimilarity(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	q.Workers = s.capWorkers(q.Workers)
 	res, err := db.Find(r.Context(), q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -492,6 +520,7 @@ func (s *Server) handleSeasonal(w http.ResponseWriter, r *http.Request) {
 		Series:         req.Series,
 		Lengths:        bounds,
 		MinOccurrences: req.MinOccurrences,
+		Workers:        s.capWorkers(0),
 	})
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
@@ -588,7 +617,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	if req.MaxDist > 0 {
 		// Route through Find so a disconnecting client cancels the scan.
 		var res onex.Result
-		res, err = db.Find(r.Context(), onex.Query{Values: q, MaxDist: req.MaxDist, K: req.Limit})
+		res, err = db.Find(r.Context(), onex.Query{
+			Values: q, MaxDist: req.MaxDist, K: req.Limit,
+			Workers: s.capWorkers(0),
+		})
 		ms = res.Matches
 	} else {
 		// MaxDist = 0 ("exact matches only") keeps its legacy range

@@ -1,0 +1,87 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+
+	"repro/onex"
+)
+
+// TestWorkersCappedPerRequest pins the server-side guard: a request asking
+// for an enormous worker pool is clamped to the configured cap before it
+// reaches the engine — visible in the echoed resolved request — and a
+// request for 0 ("all cores") resolves to the cap, so one client can never
+// claim more of the box than the operator allows.
+func TestWorkersCappedPerRequest(t *testing.T) {
+	s := New(WithMaxWorkers(2))
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(hts.Close)
+	loadGrowth(t, hts)
+
+	for name, req := range map[string]onex.Query{
+		"oversized": {Window: onex.Window{Series: "MA", Start: 0, Length: 8}, Workers: 64},
+		"all cores": {Window: onex.Window{Series: "MA", Start: 0, Length: 8}},
+	} {
+		resp, raw := postJSON(t, hts.URL+"/api/v1/datasets/growth/query", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, raw)
+		}
+		res := decodeResult(t, raw)
+		if res.Query.Workers != 2 {
+			t.Fatalf("%s: executed with %d workers, want cap 2", name, res.Query.Workers)
+		}
+	}
+	// Under the cap passes through untouched.
+	resp, raw := postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window: onex.Window{Series: "MA", Start: 0, Length: 8}, Workers: 1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if res := decodeResult(t, raw); res.Query.Workers != 1 {
+		t.Fatalf("executed with %d workers, want 1", res.Query.Workers)
+	}
+	// Negative values are still a client error, not silently clamped.
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window: onex.Window{Series: "MA", Start: 0, Length: 8}, Workers: -1,
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative workers: status %d, want 400 (%s)", resp.StatusCode, raw)
+	}
+
+	// The analyze endpoint shares the cap.
+	resp, raw = postJSON(t, hts.URL+"/api/v1/datasets/growth/analyze", onex.Analysis{
+		Kind: onex.AnalysisLengthSummaries, Workers: 64,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: status %d: %s", resp.StatusCode, raw)
+	}
+	var ares onex.AnalysisResult
+	if err := json.Unmarshal(raw, &ares); err != nil {
+		t.Fatal(err)
+	}
+	if ares.Request.Workers != 2 {
+		t.Fatalf("analyze executed with %d workers, want cap 2", ares.Request.Workers)
+	}
+}
+
+// TestWorkersDefaultCapIsGOMAXPROCS pins the no-option default: the cap is
+// the box's GOMAXPROCS, so an unconfigured server still refuses a larger
+// pool than it has cores.
+func TestWorkersDefaultCapIsGOMAXPROCS(t *testing.T) {
+	_, hts := newTestServer(t)
+	loadGrowth(t, hts)
+	resp, raw := postJSON(t, hts.URL+"/api/v1/datasets/growth/query", onex.Query{
+		Window: onex.Window{Series: "MA", Start: 0, Length: 8}, Workers: 1 << 20,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	if res := decodeResult(t, raw); res.Query.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("executed with %d workers, want GOMAXPROCS = %d",
+			res.Query.Workers, runtime.GOMAXPROCS(0))
+	}
+}

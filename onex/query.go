@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -101,6 +102,12 @@ type Query struct {
 	Band int `json:"band,omitempty"`
 	// LengthNorm overrides how variable-length matches are ranked.
 	LengthNorm Norm `json:"length_norm,omitempty"`
+	// Workers bounds the worker pool this one query may spread its group
+	// scans across (0 = GOMAXPROCS; negative values are rejected). Results
+	// are identical at every setting — Workers: 1 runs the serial engine —
+	// only the wall time changes. The HTTP server additionally caps the
+	// value per request so one query cannot monopolize the box.
+	Workers int `json:"workers,omitempty"`
 }
 
 // QueryStats reports the work one Find call did — the measurable side of
@@ -130,7 +137,8 @@ type Result struct {
 	// Matches is the result set, best first.
 	Matches []Match `json:"matches"`
 	// Query echoes the request with every default resolved (K, Lengths,
-	// Mode, Band, LengthNorm), so callers see exactly what was executed.
+	// Mode, Band, LengthNorm, Workers), so callers see exactly what was
+	// executed.
 	Query Query `json:"query"`
 	// Stats reports the search work and wall time.
 	Stats QueryStats `json:"stats"`
@@ -200,6 +208,17 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	}
 	eff.Band = band
 
+	// Per-query parallelism, validated like Config.Workers; the resolved
+	// pool size is echoed so callers see what ran.
+	if q.Workers < 0 {
+		return Result{}, fmt.Errorf("onex: Find: Workers = %d must be non-negative (0 = GOMAXPROCS)", q.Workers)
+	}
+	workers := q.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eff.Workers = workers
+
 	lengthNorm := true
 	switch q.LengthNorm {
 	case NormDefault, NormLength:
@@ -266,7 +285,7 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	}
 
 	res, err := db.engine.Find(ctx, qvec, core.FindOptions{
-		Options:     core.Options{Band: band, Mode: mode, LengthNorm: lengthNorm},
+		Options:     core.Options{Band: band, Mode: mode, LengthNorm: lengthNorm, Workers: workers},
 		K:           k,
 		Range:       rangeMode,
 		MaxDist:     q.MaxDist,
