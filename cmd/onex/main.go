@@ -8,11 +8,16 @@
 //	onex build     -data growth.csv -out growth.base [-st 0.1 -minlen 4 -maxlen 12]
 //	onex query     -data growth.csv -series MA -start 0 -len 12 [-k 5] [-exclude-source] [-mode exact] [-workers 4] [-stats]
 //	onex query     -data growth.csv -base growth.base -series MA -len 12   # reuse base
+//	onex query     -data growth.csv -series MA -len 12 -progressive        # stream approx → exact
 //	onex range     -data growth.csv -series MA -len 12 -maxdist 0.05 [-workers 4] [-stats]
 //
 // query and range both map their flags onto the library's unified
 // onex.Query and run it through DB.Find; Ctrl-C cancels a long search and
 // -workers bounds the per-query worker pool (0 = all cores, 1 = serial).
+// -progressive switches query to DB.Stream: the approximate answer prints
+// immediately and refines line by line — one line per certified wave —
+// until the exact result, so a long exact search shows progress instead
+// of silence (Ctrl-C stops it mid-wave).
 //
 //	onex analyze   -data growth.csv -kind overview [-length 8 -k 12] [-stats]
 //	onex analyze   -data power.csv -kind seasonal -series household-00 -minlen 12 -maxlen 12
@@ -277,6 +282,7 @@ func cmdQuery(args []string) error {
 	excludeSource := fs.Bool("exclude-source", false, "exclude the whole source series")
 	mode := fs.String("mode", "", "per-query mode override: approx|exact (default: as opened)")
 	workers := fs.Int("workers", 0, "worker pool for the scan (0 = all cores, 1 = serial)")
+	progressive := fs.Bool("progressive", false, "stream the answer: approximate first, refined per certified wave, exact last")
 	stats := fs.Bool("stats", false, "print search statistics after the results")
 	_ = fs.Parse(args)
 	if *series == "" || *length <= 0 {
@@ -298,6 +304,9 @@ func cmdQuery(args []string) error {
 	}
 	ctx, stop := queryContext()
 	defer stop()
+	if *progressive {
+		return runProgressive(ctx, db, q, *stats)
+	}
 	res, err := db.Find(ctx, q)
 	if err != nil {
 		return err
@@ -317,6 +326,58 @@ func cmdQuery(args []string) error {
 		printStats(res.Stats)
 	}
 	return nil
+}
+
+// runProgressive drives db.Stream and live-renders each update: the
+// approximate answer appears immediately, every certified refinement wave
+// prints its current best, and the exact result closes the stream. Ctrl-C
+// (the cancelled ctx) stops the walk mid-wave.
+func runProgressive(ctx context.Context, db *onex.DB, q onex.Query, stats bool) error {
+	x, err := db.Stream(ctx, q)
+	if err != nil {
+		return err
+	}
+	defer x.Close()
+	lastRendered := ""
+	for u := range x.Updates() {
+		label := fmt.Sprintf("wave %-3d", u.Wave)
+		switch {
+		case u.Seq == 0:
+			label = "approx  "
+		case u.Final:
+			label = "exact   "
+		}
+		certified := 0
+		for _, c := range u.Certified {
+			if c {
+				certified++
+			}
+		}
+		best := "no match yet"
+		if len(u.Matches) > 0 {
+			m := u.Matches[0]
+			best = fmt.Sprintf("%s[%d:%d) DTW=%.6f", m.Series, m.Start, m.Start+m.Length, m.Dist)
+		}
+		// Print the waves that change the picture (plus a heartbeat every
+		// 32nd), so a long exact walk reads as progress, not noise.
+		line := fmt.Sprintf("%s certified %d/%d", best, certified, len(u.Matches))
+		if line == lastRendered && !u.Final && u.Wave%32 != 0 {
+			continue
+		}
+		lastRendered = line
+		fmt.Fprintf(stdout, "%s best: %-32s certified %d/%d, %d groups remaining (%.1f ms)\n",
+			label, best, certified, len(u.Matches), u.GroupsRemaining,
+			float64(u.Stats.WallMicros)/1000)
+		if u.Final {
+			for i, m := range u.Matches {
+				fmt.Fprintf(stdout, "  #%-3d %s[%d:%d)  DTW=%.6f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.Dist)
+			}
+			if stats {
+				printStats(u.Stats)
+			}
+		}
+	}
+	return x.Err()
 }
 
 func printStats(st onex.QueryStats) {

@@ -151,6 +151,37 @@ func TestCmdQueryUnifiedFlags(t *testing.T) {
 	}
 }
 
+func TestCmdQueryProgressive(t *testing.T) {
+	dir := t.TempDir()
+	data := genGrowth(t, dir)
+	open := []string{"-data", data, "-minlen", "4", "-maxlen", "9"}
+
+	out := capture(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-k", "3",
+		"-exclude-source", "-progressive", "-stats"))
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("progressive output too short:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "approx") {
+		t.Fatalf("first line is not the approximate answer:\n%s", out)
+	}
+	for _, want := range []string{"best:", "exact", "groups remaining", "certified", "#1", "stats:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("progressive output missing %q:\n%s", want, out)
+		}
+	}
+	// The final exact listing must agree with a one-shot exact query.
+	oneShot := capture(t, cmdQuery, append(open, "-series", "MA", "-len", "8", "-k", "3",
+		"-exclude-source", "-mode", "exact"))
+	for _, line := range strings.Split(oneShot, "\n") {
+		if strings.Contains(line, "#") {
+			if !strings.Contains(out, strings.TrimSpace(line)) {
+				t.Fatalf("one-shot match %q missing from progressive output:\n%s", strings.TrimSpace(line), out)
+			}
+		}
+	}
+}
+
 func TestCmdSeasonalRecommendOverview(t *testing.T) {
 	dir := t.TempDir()
 	power := filepath.Join(dir, "power.csv")

@@ -10,6 +10,12 @@
 //
 // Preloaded sources accept the same syntax as POST /api/datasets/load:
 // "matters:<Indicator>", "electricity", "cbf", "walks", "file:<path>".
+// GET /healthz answers liveness probes (build info + loaded-dataset
+// count) for load balancers in front of the daemon, and
+// POST /api/v1/datasets/{name}/query/stream serves progressive queries
+// as NDJSON (the stream handler re-arms the write deadline per update,
+// so the server's WriteTimeout below bounds per-update stalls, not total
+// stream duration).
 // -data-dir restricts the load endpoint's file: sources to one directory;
 // without it any server-readable path may be loaded (the historical demo
 // behaviour, fine when operator == analyst). -max-workers caps the worker

@@ -82,4 +82,52 @@ func main() {
 	for i, m := range res.Matches {
 		fmt.Printf("  #%d %s[%d:%d)  DTW=%.4f\n", i+1, m.Series, m.Start, m.Start+m.Length, m.Dist)
 	}
+	fmt.Println()
+
+	// Scenario 4 — progressive refinement: the same query as scenario 1,
+	// but streamed. The first update is the approximate answer (available
+	// before any exact refinement runs); each following update is one
+	// certified wave; the last equals an exact-mode Find.
+	x, err := db.Stream(ctx, onex.Query{
+		Window:  onex.Window{Series: "MA", Start: 12, Length: 12},
+		Exclude: onex.Exclude{Self: true},
+		K:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer x.Close()
+	fmt.Println("progressive query for MA[12:24):")
+	lastLine, waves := "", 0
+	for u := range x.Updates() {
+		waves = u.Wave
+		certified := 0
+		for _, c := range u.Certified {
+			if c {
+				certified++
+			}
+		}
+		stage := fmt.Sprintf("wave %d", u.Wave)
+		if u.Seq == 0 {
+			stage = "approx"
+		} else if u.Final {
+			stage = "exact"
+		}
+		// A terminal UI would redraw in place; here we print only the
+		// updates that change the picture (best match or certified count).
+		best := "no match yet" // constrained walks can under-fill early snapshots
+		if len(u.Matches) > 0 {
+			best = fmt.Sprintf("best=%s[%d:%d) DTW=%.4f", u.Matches[0].Series,
+				u.Matches[0].Start, u.Matches[0].Start+u.Matches[0].Length, u.Matches[0].Dist)
+		}
+		line := fmt.Sprintf("%s  certified %d/%d", best, certified, len(u.Matches))
+		if line != lastLine || u.Final {
+			fmt.Printf("  %-8s %s, %d groups left\n", stage, line, u.GroupsRemaining)
+			lastLine = line
+		}
+	}
+	if err := x.Err(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  (%d refinement waves in total)\n", waves)
 }

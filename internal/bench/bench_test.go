@@ -48,6 +48,44 @@ func TestRunE1SmallShape(t *testing.T) {
 	}
 }
 
+// TestRunE1Modes exercises the exact and stream query paths: both drive
+// the certified search, so their answers must equal the brute-force
+// baseline, and stream mode must report a first-update latency.
+func TestRunE1Modes(t *testing.T) {
+	base := E1Config{
+		SeriesCounts: []int{5},
+		SeriesLen:    48,
+		QueryLen:     12,
+		Queries:      3,
+		Band:         3,
+		Seed:         1,
+		Workers:      2,
+	}
+	for _, mode := range []string{"exact", "stream"} {
+		cfg := base
+		cfg.Mode = mode
+		rows, err := RunE1(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		r := rows[0]
+		if r.DistRatio < 1-1e-9 || r.DistRatio > 1+1e-9 {
+			t.Fatalf("%s mode is not exact: dist ratio %g", mode, r.DistRatio)
+		}
+		if mode == "stream" && r.FirstUs <= 0 {
+			t.Fatalf("stream mode reported no first-update latency: %+v", r)
+		}
+		if mode == "exact" && r.FirstUs != 0 {
+			t.Fatalf("one-shot mode reported a first-update latency: %+v", r)
+		}
+	}
+	bogus := base
+	bogus.Mode = "bogus"
+	if _, err := RunE1(bogus); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
 func TestRunE1Defaults(t *testing.T) {
 	cfg := DefaultE1()
 	if len(cfg.SeriesCounts) == 0 || cfg.QueryLen == 0 {

@@ -1,19 +1,21 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/bruteforce"
-	"repro/internal/core"
 	"repro/internal/gen"
-	"repro/internal/grouping"
 	"repro/internal/ts"
 	"repro/internal/ucrsuite"
+	"repro/onex"
 )
 
 // E1Config parameterizes the latency comparison (paper claim: "several
-// times faster than the fastest known method [6]").
+// times faster than the fastest known method [6]"). The ONEX side runs
+// through the public API — onex.Query executed by DB.Find (or DB.Stream
+// in stream mode) — so the experiment measures the path real clients use.
 type E1Config struct {
 	// SeriesCounts sweeps the collection size.
 	SeriesCounts []int
@@ -30,6 +32,14 @@ type E1Config struct {
 	ST float64
 	// Seed fixes data and query generation.
 	Seed int64
+	// Mode selects the ONEX query path: "" or "approx" (the paper's
+	// configuration), "exact" (certified search), or "stream" (the
+	// progressive pipeline, drained to its exact answer; first-update
+	// latency is reported in the first_us column).
+	Mode string
+	// Workers bounds the per-query worker pool (0 = all cores, 1 = the
+	// serial engine), exercising the parallel search path.
+	Workers int
 }
 
 // DefaultE1 is the configuration the EXPERIMENTS.md table uses.
@@ -50,8 +60,9 @@ type E1Row struct {
 	Windows      int     // candidate windows (per system, identical)
 	Groups       int     // ONEX base groups at the query length
 	BuildMs      float64 // ONEX base construction (amortized, offline)
-	ONEXQueryUs  float64 // mean ONEX query latency (approx mode)
+	ONEXQueryUs  float64 // mean ONEX query latency (per cfg.Mode)
 	ONEXP95Us    float64 // p95 ONEX query latency (interactivity is a tail property)
+	FirstUs      float64 // mean first-update latency (stream mode only; 0 otherwise)
 	UCRQueryUs   float64 // mean UCR-Suite-style exact query latency
 	BruteQueryUs float64 // mean naive scan latency
 	SpeedupUCR   float64 // UCR / ONEX
@@ -100,41 +111,81 @@ func runE1One(cfg E1Config, n int) (E1Row, error) {
 		// apart (their events differ by ~0.5 per point over the event).
 		st = 0.16
 	}
-	var base *grouping.Base
+	// The dataset is already normalized, so open the public DB with
+	// KeepRaw: every system — onex, UCR-Suite, brute force — then scores
+	// in the same value space and the distances are directly comparable.
+	var db *onex.DB
 	buildTimer := &Timer{}
 	var err error
 	buildTimer.Time(func() {
-		base, err = grouping.Build(d, grouping.Options{
+		db, err = onex.Open(d, onex.Config{
 			ST:        st,
 			MinLength: cfg.QueryLen,
 			MaxLength: cfg.QueryLen,
+			Band:      cfg.Band,
+			KeepRaw:   true,
 		})
 	})
 	if err != nil {
 		return E1Row{}, err
 	}
-	engine, err := core.NewEngine(d, base, core.Options{Band: cfg.Band, Mode: core.ModeApprox})
-	if err != nil {
-		return E1Row{}, err
+	mode := onex.ModeApprox
+	switch cfg.Mode {
+	case "", "approx", "stream":
+	case "exact":
+		mode = onex.ModeExact
+	default:
+		return E1Row{}, fmt.Errorf("unknown mode %q (want approx, exact, or stream)", cfg.Mode)
 	}
 	// UCR-style protocol: queries are held-out CBF instances, so the
 	// nearest indexed neighbor is a class-mate rather than a duplicate.
 	heldOut := gen.CBF(gen.CBFOptions{PerClass: (cfg.Queries + 2) / 3, Length: cfg.SeriesLen, Seed: cfg.Seed + 1000})
 	queries := HeldOutQueries(d, heldOut, cfg.Queries, cfg.QueryLen, cfg.Seed+7)
 
+	stats := db.Stats()
 	row := E1Row{
 		N:       n,
 		Windows: d.NumSubsequences(cfg.QueryLen, cfg.QueryLen),
-		Groups:  len(base.GroupsOfLength(cfg.QueryLen)),
+		Groups:  stats.Groups,
 		BuildMs: buildTimer.TotalMillis(),
 	}
-	var onexT, ucrT, bruteT Timer
+	ctx := context.Background()
+	var onexT, firstT, ucrT, bruteT Timer
 	agree, ratioSum := 0, 0.0
 	for _, q := range queries {
-		var om core.Match
-		onexT.Time(func() {
-			om, err = engine.BestMatch(q)
-		})
+		// NormRaw ranks by raw DTW cost, the unit the exact baselines
+		// report.
+		oq := onex.Query{Values: q, LengthNorm: onex.NormRaw, Mode: mode, Workers: cfg.Workers}
+		var om onex.Match
+		if cfg.Mode == "stream" {
+			onexT.Time(func() {
+				var x *onex.Exploration
+				// firstT covers Stream-call to first update: the latency at
+				// which the analyst sees the approximate answer.
+				firstT.Time(func() {
+					x, err = db.Stream(ctx, oq)
+					if err == nil {
+						<-x.Updates()
+					}
+				})
+				if err != nil {
+					return
+				}
+				var res onex.Result
+				res, err = x.Wait()
+				if err == nil {
+					om = res.Matches[0]
+				}
+			})
+		} else {
+			onexT.Time(func() {
+				var res onex.Result
+				res, err = db.Find(ctx, oq)
+				if err == nil {
+					om = res.Matches[0]
+				}
+			})
+		}
 		if err != nil {
 			return E1Row{}, err
 		}
@@ -167,6 +218,7 @@ func runE1One(cfg E1Config, n int) (E1Row, error) {
 	}
 	row.ONEXQueryUs = onexT.MeanMicros()
 	row.ONEXP95Us = onexT.PercentileMicros(0.95)
+	row.FirstUs = firstT.MeanMicros()
 	row.UCRQueryUs = ucrT.MeanMicros()
 	row.BruteQueryUs = bruteT.MeanMicros()
 	if row.ONEXQueryUs > 0 {
@@ -178,13 +230,14 @@ func runE1One(cfg E1Config, n int) (E1Row, error) {
 	return row, nil
 }
 
-// TableE1 renders E1 rows.
+// TableE1 renders E1 rows. first_us is the stream-mode first-update
+// latency (0 in the one-shot modes).
 func TableE1(rows []E1Row) string {
 	tb := NewTable("N", "windows", "groups", "build_ms",
-		"onex_us", "onex_p95", "ucr_us", "brute_us", "speedup_ucr", "speedup_brute", "top1", "dist_ratio")
+		"onex_us", "onex_p95", "first_us", "ucr_us", "brute_us", "speedup_ucr", "speedup_brute", "top1", "dist_ratio")
 	for _, r := range rows {
 		tb.AddRow(r.N, r.Windows, r.Groups, r.BuildMs,
-			r.ONEXQueryUs, r.ONEXP95Us, r.UCRQueryUs, r.BruteQueryUs,
+			r.ONEXQueryUs, r.ONEXP95Us, r.FirstUs, r.UCRQueryUs, r.BruteQueryUs,
 			r.SpeedupUCR, r.SpeedupBrute, r.Top1Agree, r.DistRatio)
 	}
 	return tb.String()

@@ -21,6 +21,13 @@ type FindOptions struct {
 	MaxDist float64
 	// Constraints narrow the candidate set in either mode.
 	Constraints QueryConstraints
+	// Progress, when non-nil, turns an exact-mode Find into a progressive
+	// search: the sink receives a Snapshot after the approximate phase,
+	// after every certified refinement wave, and a final one equal to the
+	// returned result (see stream.go). It is called synchronously on the
+	// searching goroutine — a slow sink slows the walk. Approx-mode and
+	// range calls never invoke it.
+	Progress ProgressFunc
 }
 
 // FindResult bundles one Find call's matches with the work statistics the
@@ -50,7 +57,7 @@ func (e *Engine) Find(ctx context.Context, q []float64, fo FindOptions) (FindRes
 	if k < 1 {
 		k = 1
 	}
-	ms, err := e.search(ctx, q, k, fo.Constraints, fo.Options, &st)
+	ms, err := e.search(ctx, q, k, fo.Constraints, fo.Options, &st, fo.Progress)
 	return FindResult{Matches: ms, Stats: st}, err
 }
 

@@ -275,7 +275,7 @@ func TestConstrainedFallbackBounded(t *testing.T) {
 	var st SearchStats
 	ms, err := e.search(context.Background(), probe[0:8], 3,
 		QueryConstraints{ExcludeSeries: map[int]bool{0: true}},
-		Options{Band: -1, Mode: ModeApprox, LengthNorm: true, Workers: 1}, &st)
+		Options{Band: -1, Mode: ModeApprox, LengthNorm: true, Workers: 1}, &st, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

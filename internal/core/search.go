@@ -67,14 +67,16 @@ func (e *Engine) KBestMatches(q []float64, k int) ([]Match, error) {
 // the certified transfer bound and refine all survivors; the result is the
 // true DTW top-k over every indexed candidate.
 func (e *Engine) KBestMatchesConstrained(q []float64, k int, c QueryConstraints) ([]Match, error) {
-	return e.search(context.Background(), q, k, c, e.opts, nil)
+	return e.search(context.Background(), q, k, c, e.opts, nil, nil)
 }
 
 // search is the shared top-k entry point: it validates the query, resolves
 // candidate lengths, and dispatches on the per-call mode. It honours ctx
 // cancellation between pruning rounds (per group and per member batch) and
-// returns ctx.Err() when the caller gave up.
-func (e *Engine) search(ctx context.Context, q []float64, k int, c QueryConstraints, opts Options, st *SearchStats) ([]Match, error) {
+// returns ctx.Err() when the caller gave up. progress, when non-nil,
+// receives pipeline snapshots in exact mode (see stream.go); approx-mode
+// calls never invoke it — the approximate answer is the whole result.
+func (e *Engine) search(ctx context.Context, q []float64, k int, c QueryConstraints, opts Options, st *SearchStats, progress ProgressFunc) ([]Match, error) {
 	if len(q) < 2 {
 		return nil, fmt.Errorf("core: query length %d too short (need >= 2)", len(q))
 	}
@@ -87,7 +89,7 @@ func (e *Engine) search(ctx context.Context, q []float64, k int, c QueryConstrai
 	}
 	switch opts.Mode {
 	case ModeExact:
-		return e.kbestExact(ctx, q, k, c, lengths, opts, st)
+		return e.kbestExact(ctx, q, k, c, lengths, opts, st, progress)
 	default:
 		return e.kbestApprox(ctx, q, k, c, lengths, opts, st)
 	}
@@ -180,126 +182,45 @@ func sortCandidates(cands []repCandidate) {
 }
 
 // kbestApprox implements the paper's search: pick the top-k groups by
-// representative score, then take the best members inside them.
+// representative score, then take the best members inside them. It is the
+// approximate phase of the progressive pipeline (stream.go), stopped after
+// its first emission boundary.
 func (e *Engine) kbestApprox(ctx context.Context, q []float64, k int, c QueryConstraints, lengths []int, opts Options, st *SearchStats) ([]Match, error) {
-	cands, err := e.scoreRepresentatives(ctx, q, k, lengths, opts, st)
+	w, err := e.startWalk(ctx, q, k, c, lengths, opts, st)
 	if err != nil {
 		return nil, err
 	}
-	sortCandidates(cands)
-
-	// Refine within the most promising groups. To fill k results we may
-	// need more than k groups when constraints exclude members, so walk
-	// groups in rep order until k matches are collected (or candidates are
-	// exhausted).
-	top := newTopK(k)
-	resolved := false
-	for i := 0; i < len(cands); i++ {
-		if !resolved && (i >= k || math.IsInf(cands[i].repDist, 1)) {
-			// End of the deterministic prefix: the k best representatives are
-			// exactly scored in every run, but beyond them which groups the
-			// scoring pass LB-pruned depends on scan order (and, with
-			// Workers > 1, on scheduling). Resolve the tail — recompute every
-			// pruned representative and re-sort by true score — so the walk
-			// continues in true representative order regardless, and a
-			// constrained query that under-fills stops at the same cutoff as
-			// the main loop instead of degenerating into a near-exhaustive
-			// member scan of every pruned group.
-			if err := e.resolveCandidates(ctx, q, cands[i:], opts, st); err != nil {
-				return nil, err
-			}
-			sortCandidates(cands[i:])
-			resolved = true
-		}
-		cand := cands[i]
-		if top.full() && cand.repScore > top.worst().Score {
-			// A group whose representative already scores worse than every
-			// collected member cannot improve an approximate top-k
-			// (heuristic: members can score below their representative).
-			break
-		}
-		if err := e.refine(ctx, q, cand, c, top, opts, st); err != nil {
-			return nil, err
-		}
-	}
-	if top.len() == 0 {
+	if w.top.len() == 0 {
 		return nil, ErrNoMatch
 	}
-	return e.finishMatches(q, top.sorted(), opts), nil
+	return e.finishMatches(q, w.top.sorted(), opts), nil
 }
 
-// kbestExact prunes groups with the certified transfer bound and refines
-// every survivor; the result is the true top-k.
-func (e *Engine) kbestExact(ctx context.Context, q []float64, k int, c QueryConstraints, lengths []int, opts Options, st *SearchStats) ([]Match, error) {
-	cands, err := e.scoreRepresentatives(ctx, q, math.MaxInt32, lengths, opts, st) // no rep pruning in exact mode
+// kbestExact drives the progressive pipeline to its certified end: the
+// approximate phase seeds the accumulator, then the remaining groups are
+// refined in fixed-size waves under the certified transfer bound
+// (stream.go finishExact); the result is the true top-k. progress, when
+// non-nil, receives a snapshot after the approximate phase, after every
+// wave, and a final one equal to the returned matches.
+func (e *Engine) kbestExact(ctx context.Context, q []float64, k int, c QueryConstraints, lengths []int, opts Options, st *SearchStats, progress ProgressFunc) ([]Match, error) {
+	w, err := e.startWalk(ctx, q, k, c, lengths, opts, st)
 	if err != nil {
 		return nil, err
 	}
-	// The kth tracker saturates at 1024, so on large bases a tail of
-	// representatives is LB-abandoned even in exact mode; recompute them
-	// all (in parallel when allowed) so the certified bound below sees true
-	// distances, and walk groups in true representative-score order.
-	if err := e.resolveCandidates(ctx, q, cands, opts, st); err != nil {
+	if progress != nil {
+		progress(w.snapshot(false))
+	}
+	if err := w.finishExact(ctx, progress); err != nil {
 		return nil, err
 	}
-	sortCandidates(cands)
-
-	// The walk proceeds in fixed-size waves: between waves the certified
-	// transfer bound is re-evaluated against the tightened top-k (exactly
-	// like the old per-group check, at wave granularity), and within a wave
-	// every surviving group is refined — across the worker pool when one is
-	// configured. The wave size is a constant, so the set of refined groups
-	// is identical at every worker count; only the member-level DTW/abandon
-	// split depends on scheduling.
-	//
-	// certLower is the certified lower bound for every member s of a group:
-	// DTW(q,s) >= DTW(q,rep) - mu*ED(rep,s) >= repDist - mu*ST_l/2, where mu
-	// is bounded by the band geometry of the (q,s) grid and ST_l is the
-	// absolute threshold at the group's length.
-	certLower := func(cand repCandidate) float64 {
-		w := dist.EffectiveBand(len(q), cand.g.Length, opts.Band)
-		mu := float64(2*w + 1)
-		return (cand.repDist - mu*e.base.HalfST(cand.g.Length)) / cand.norm
-	}
-	top := newTopK(k)
-	workers := resolveWorkers(opts.Workers, exactWave)
-	wave := make([]repCandidate, 0, exactWave)
-	for idx := 0; idx < len(cands); {
-		// Collect the next wave of groups the certified bound cannot skip.
-		wave = wave[:0]
-		for idx < len(cands) && len(wave) < exactWave {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			cand := cands[idx]
-			idx++
-			if top.full() && certLower(cand) > top.worst().Score {
-				if st != nil {
-					st.GroupsLBPruned++
-				}
-				continue // provably cannot improve the top-k
-			}
-			wave = append(wave, cand)
-		}
-		if len(wave) == 0 {
-			continue
-		}
-		if workers > 1 && len(wave) > 1 {
-			if err := e.refineWaveParallel(ctx, q, wave, c, top, opts, st, workers); err != nil {
-				return nil, err
-			}
-		} else {
-			for _, cand := range wave {
-				if err := e.refine(ctx, q, cand, c, top, opts, st); err != nil {
-					return nil, err
-				}
-			}
-		}
-	}
-	if top.len() == 0 {
+	if w.top.len() == 0 {
 		return nil, ErrNoMatch
 	}
-	return e.finishMatches(q, top.sorted(), opts), nil
+	final := w.snapshot(true)
+	if progress != nil {
+		progress(final)
+	}
+	return final.Matches, nil
 }
 
 // matchSink abstracts the accumulator a member scan offers into: the plain
@@ -455,7 +376,11 @@ func newKthTracker(k int) *kthTracker {
 		k = 1
 	}
 	if k > 1024 {
-		k = 1024 // exact mode passes MaxInt32 meaning "never prune"
+		// Saturate: beyond this the bound is useless anyway. The exact
+		// pipeline compensates for any resulting over-pruning by resolving
+		// every abandoned representative (finishExact / resolveCandidates)
+		// before the certified walk.
+		k = 1024
 	}
 	return &kthTracker{k: k}
 }

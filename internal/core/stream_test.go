@@ -1,0 +1,217 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// collectSnapshots runs an exact-mode Find with a progress sink and
+// returns every emission plus the one-shot result for comparison.
+func collectSnapshots(t *testing.T, e *Engine, q []float64, fo FindOptions) ([]Snapshot, FindResult) {
+	t.Helper()
+	var snaps []Snapshot
+	streamFO := fo
+	streamFO.Progress = func(s Snapshot) { snaps = append(snaps, s) }
+	res, err := e.Find(context.Background(), q, streamFO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snaps, res
+}
+
+// TestProgressivePipeline pins the emission contract at every worker
+// count: the first snapshot is the approximate answer (equal to an
+// approx-mode Find, emitted before any refinement wave), intermediate
+// snapshots refine monotonically, and the final snapshot equals the
+// one-shot exact Find — matches, order, and stats.
+func TestProgressivePipeline(t *testing.T) {
+	d, e := parallelWorld(t, ModeExact)
+	q := d.Series[0].Values[0:16]
+	ctx := context.Background()
+
+	for _, workers := range []int{1, 4} {
+		fo := FindOptions{Options: Options{Band: -1, Mode: ModeExact, LengthNorm: true, Workers: workers}, K: 5}
+		snaps, res := collectSnapshots(t, e, q, fo)
+		if len(snaps) < 3 {
+			t.Fatalf("workers=%d: only %d snapshots; want approx + waves + final", workers, len(snaps))
+		}
+
+		// The approximate snapshot comes first, before any wave.
+		first := snaps[0]
+		if first.Seq != 0 || first.Wave != 0 || first.Final {
+			t.Fatalf("workers=%d: first snapshot = seq %d wave %d final %v", workers, first.Seq, first.Wave, first.Final)
+		}
+		if first.GroupsRemaining == 0 {
+			t.Fatalf("workers=%d: approximate snapshot claims the walk already finished", workers)
+		}
+		approxFO := FindOptions{Options: Options{Band: -1, Mode: ModeApprox, LengthNorm: true, Workers: workers}, K: 5}
+		approx, err := e.Find(ctx, q, approxFO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMatches(t, "approx snapshot vs approx Find", approx.Matches, first.Matches)
+		// Stats prove the emission point: the approximate phase has done
+		// exactly the work an approx-mode Find does — no wave has run yet.
+		if first.Stats.Groups != approx.Stats.Groups ||
+			first.Stats.GroupsRefined != approx.Stats.GroupsRefined ||
+			first.Stats.Members != approx.Stats.Members {
+			t.Fatalf("workers=%d: approx snapshot stats %+v != approx Find stats %+v",
+				workers, first.Stats, approx.Stats)
+		}
+
+		// The final snapshot equals the one-shot exact result.
+		last := snaps[len(snaps)-1]
+		if !last.Final || last.GroupsRemaining != 0 {
+			t.Fatalf("workers=%d: last snapshot final=%v remaining=%d", workers, last.Final, last.GroupsRemaining)
+		}
+		sameMatches(t, "final snapshot vs Find", res.Matches, last.Matches)
+		if last.Stats != res.Stats {
+			t.Fatalf("workers=%d: final snapshot stats %+v != Find stats %+v", workers, last.Stats, res.Stats)
+		}
+		for i, c := range last.Certified {
+			if !c {
+				t.Fatalf("workers=%d: final snapshot match %d not certified", workers, i)
+			}
+		}
+
+		// Emission invariants across the run: seq increments, waves only
+		// move forward, remaining only shrinks, stats only grow, and
+		// certification is monotone per match ref.
+		certified := map[interface{}]bool{}
+		for i, s := range snaps {
+			if s.Seq != i {
+				t.Fatalf("workers=%d: snapshot %d has seq %d", workers, i, s.Seq)
+			}
+			if len(s.Certified) != len(s.Matches) {
+				t.Fatalf("workers=%d: snapshot %d: %d flags for %d matches", workers, i, len(s.Certified), len(s.Matches))
+			}
+			if i == 0 {
+				continue
+			}
+			prev := snaps[i-1]
+			if s.GroupsRemaining > prev.GroupsRemaining {
+				t.Fatalf("workers=%d: snapshot %d remaining grew %d -> %d", workers, i, prev.GroupsRemaining, s.GroupsRemaining)
+			}
+			if s.Stats.GroupsRefined < prev.Stats.GroupsRefined || s.Stats.MemberDTW < prev.Stats.MemberDTW {
+				t.Fatalf("workers=%d: snapshot %d stats went backwards", workers, i)
+			}
+			for j, m := range s.Matches {
+				if s.Certified[j] {
+					certified[m.Ref] = true
+				}
+			}
+		}
+		for i, s := range snaps {
+			for j, m := range s.Matches {
+				if certified[m.Ref] && s.Final && !s.Certified[j] {
+					t.Fatalf("workers=%d: snapshot %d lost certification for %v", workers, i, m.Ref)
+				}
+			}
+		}
+
+		// Certification soundness: a match certified in any snapshot
+		// appears in the final exact result with the same distance.
+		finalByRef := map[interface{}]float64{}
+		for _, m := range res.Matches {
+			finalByRef[m.Ref] = m.Dist
+		}
+		for i, s := range snaps {
+			for j, m := range s.Matches {
+				if !s.Certified[j] {
+					continue
+				}
+				d, ok := finalByRef[m.Ref]
+				if !ok {
+					t.Fatalf("workers=%d: snapshot %d certified %v, absent from final result", workers, i, m.Ref)
+				}
+				if d != m.Dist {
+					t.Fatalf("workers=%d: snapshot %d certified %v at %g, final has %g", workers, i, m.Ref, m.Dist, d)
+				}
+			}
+		}
+	}
+}
+
+// TestProgressiveSnapshotsDeterministic pins that the emission sequence
+// itself — wave boundaries, remaining counts, per-wave match sets — is
+// identical at every worker count, not just the final answer.
+func TestProgressiveSnapshotsDeterministic(t *testing.T) {
+	d, e := parallelWorld(t, ModeExact)
+	q := d.Series[2].Values[10:26]
+	base := FindOptions{Options: Options{Band: -1, Mode: ModeExact, LengthNorm: true, Workers: 1}, K: 4}
+	serial, _ := collectSnapshots(t, e, q, base)
+	for _, workers := range []int{2, 4} {
+		fo := base
+		fo.Workers = workers
+		par, _ := collectSnapshots(t, e, q, fo)
+		if len(par) != len(serial) {
+			t.Fatalf("workers=%d: %d snapshots != %d", workers, len(par), len(serial))
+		}
+		for i := range par {
+			if par[i].Wave != serial[i].Wave || par[i].GroupsRemaining != serial[i].GroupsRemaining {
+				t.Fatalf("workers=%d: snapshot %d shape (%d, %d) != (%d, %d)", workers, i,
+					par[i].Wave, par[i].GroupsRemaining, serial[i].Wave, serial[i].GroupsRemaining)
+			}
+			sameMatches(t, "snapshot", serial[i].Matches, par[i].Matches)
+			for j := range par[i].Certified {
+				if par[i].Certified[j] != serial[i].Certified[j] {
+					t.Fatalf("workers=%d: snapshot %d certification %d diverged", workers, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestProgressiveCancelMidStream cancels the context from inside the sink
+// and requires the walk to abort within one wave: at most one further
+// emission, then ctx.Err().
+func TestProgressiveCancelMidStream(t *testing.T) {
+	d, e := parallelWorld(t, ModeExact)
+	q := d.Series[1].Values[0:20]
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		emissions := 0
+		_, err := e.Find(ctx, q, FindOptions{
+			Options: Options{Band: -1, Mode: ModeExact, LengthNorm: true, Workers: workers},
+			K:       5,
+			Progress: func(s Snapshot) {
+				emissions++
+				if s.Seq == 1 {
+					cancel() // give up after the first refinement wave
+				}
+			},
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Seq 0 (approx), seq 1 (first wave, cancels), and at most one
+		// in-flight wave that raced the cancellation.
+		if emissions > 3 {
+			t.Fatalf("workers=%d: %d emissions after cancelling at the first wave", workers, emissions)
+		}
+	}
+}
+
+// TestProgressiveApproxNeverEmits pins that approx-mode and range calls
+// ignore the sink: the approximate answer is the whole result.
+func TestProgressiveApproxNeverEmits(t *testing.T) {
+	d, e := parallelWorld(t, ModeApprox)
+	q := d.Series[0].Values[0:12]
+	calls := 0
+	sink := func(Snapshot) { calls++ }
+	if _, err := e.Find(context.Background(), q, FindOptions{
+		Options: Options{Band: -1, LengthNorm: true}, K: 3, Progress: sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Find(context.Background(), q, FindOptions{
+		Options: Options{Band: -1, LengthNorm: true}, Range: true, MaxDist: 0.1, Progress: sink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("sink called %d times on approx/range calls", calls)
+	}
+}

@@ -7,6 +7,7 @@
 // under the unversioned /api prefix for compatibility:
 //
 //	GET  /                                        demo HTML page
+//	GET  /healthz (also /api/v1/healthz)          liveness: build info + dataset count
 //	GET  /api/v1/datasets                         loaded datasets + stats
 //	POST /api/v1/datasets/load                    load+preprocess (see LoadRequest)
 //	GET  /api/v1/datasets/{name}/series           series names
@@ -16,6 +17,7 @@
 //	GET  /api/v1/datasets/{name}/lengths          per-length base stats
 //	GET  /api/v1/datasets/{name}/groups/{l}/{i}   group drill-down
 //	POST /api/v1/datasets/{name}/query            unified query (onex.Query → onex.Result)
+//	POST /api/v1/datasets/{name}/query/stream     progressive query (onex.Query → NDJSON onex.Update lines)
 //	POST /api/v1/datasets/{name}/analyze          unified analytics (onex.Analysis → onex.AnalysisResult)
 //	POST /api/v1/datasets/{name}/query/similarity legacy similarity alias (QueryRequest)
 //	POST /api/v1/datasets/{name}/query/range      legacy range alias (RangeRequest)
@@ -31,7 +33,11 @@
 // bodies map 1:1 onto onex.Query and onex.Analysis, their responses are
 // the full onex.Result / onex.AnalysisResult (payload, resolved request,
 // stats), and cancelling the HTTP request cancels the underlying walk.
-// The per-scenario legacy routes remain as thin aliases over the same
+// The query/stream endpoint is the progressive variant: the same body,
+// answered as NDJSON — the approximate top-k first, one line per
+// certified refinement wave, terminating with the exact result — with a
+// flush per update, so a client renders the answer while it refines. The
+// per-scenario legacy routes remain as thin aliases over the same
 // execution paths, so every analytics route honours request-context
 // cancellation too.
 package server
@@ -144,7 +150,10 @@ func (s *Server) routes() {
 	s.api("GET", "/datasets/{name}/lengths", s.handleLengths)
 	s.api("GET", "/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
 	s.api("POST", "/datasets/{name}/query", s.handleQuery)
+	s.api("POST", "/datasets/{name}/query/stream", s.handleQueryStream)
 	s.api("POST", "/datasets/{name}/analyze", s.handleAnalyze)
+	s.api("GET", "/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.api("POST", "/datasets/{name}/query/similarity", s.handleSimilarity)
 	s.api("POST", "/datasets/{name}/query/range", s.handleRange)
 	s.api("POST", "/datasets/{name}/query/seasonal", s.handleSeasonal)

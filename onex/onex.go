@@ -30,6 +30,17 @@
 //	})
 //	fmt.Println(res.Patterns[0].Length, res.Patterns[0].Occurrences)
 //
+// Stream is Find's progressive spelling for interactive consumers: the
+// same Query, answered as a refining sequence of Update snapshots — the
+// approximate top-k immediately, then one update per certified
+// refinement wave, terminating with the exact result:
+//
+//	x, _ := db.Stream(ctx, onex.Query{Values: q, K: 5})
+//	defer x.Close()
+//	for u := range x.Updates() {
+//		render(u) // u.Certified marks matches that are already final
+//	}
+//
 // The older per-scenario methods (BestMatch, KBestMatches, Seasonal,
 // Overview, ...) remain as thin wrappers over Find and Analyze.
 //

@@ -177,6 +177,30 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 
+	rq, err := db.resolveQuery(q, rangeMode)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err := db.engine.Find(ctx, rq.qvec, rq.fo)
+	if err != nil {
+		return Result{}, err
+	}
+	return db.publicResult(rq.eff, res.Matches, res.Stats, start), nil
+}
+
+// resolvedQuery is a Query resolved against the DB's configuration: the
+// fully-defaulted echo, the query vector in engine units, and the core
+// call options. Produced by resolveQuery, consumed by find and Stream.
+type resolvedQuery struct {
+	eff  Query
+	qvec []float64
+	fo   core.FindOptions
+}
+
+// resolveQuery validates q, resolves every default against the Open-time
+// configuration, and maps the public request onto core types. Callers
+// hold db.mu.
+func (db *DB) resolveQuery(q Query, rangeMode bool) (resolvedQuery, error) {
 	eff := q
 
 	// Per-query mode, band, and ranking normalization default to the
@@ -192,7 +216,7 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	case ModeExact:
 		mode = core.ModeExact
 	default:
-		return Result{}, fmt.Errorf("onex: Find: unknown mode %q (want %q or %q)", q.Mode, ModeApprox, ModeExact)
+		return resolvedQuery{}, fmt.Errorf("onex: Find: unknown mode %q (want %q or %q)", q.Mode, ModeApprox, ModeExact)
 	}
 	if mode == core.ModeExact || rangeMode {
 		// Range scans are certified-exact whatever mode was requested;
@@ -211,7 +235,7 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	// Per-query parallelism, validated like Config.Workers; the resolved
 	// pool size is echoed so callers see what ran.
 	if q.Workers < 0 {
-		return Result{}, fmt.Errorf("onex: Find: Workers = %d must be non-negative (0 = GOMAXPROCS)", q.Workers)
+		return resolvedQuery{}, fmt.Errorf("onex: Find: Workers = %d must be non-negative (0 = GOMAXPROCS)", q.Workers)
 	}
 	workers := q.Workers
 	if workers == 0 {
@@ -226,7 +250,7 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	case NormRaw:
 		lengthNorm = false
 	default:
-		return Result{}, fmt.Errorf("onex: Find: unknown length norm %q (want %q or %q)", q.LengthNorm, NormLength, NormRaw)
+		return resolvedQuery{}, fmt.Errorf("onex: Find: unknown length norm %q (want %q or %q)", q.LengthNorm, NormLength, NormRaw)
 	}
 
 	// Resolve the query vector into the engine's normalized space.
@@ -237,27 +261,27 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	)
 	switch {
 	case len(q.Values) > 0 && haveWindow:
-		return Result{}, errors.New("onex: Find: provide Values or Window, not both")
+		return resolvedQuery{}, errors.New("onex: Find: provide Values or Window, not both")
 	case len(q.Values) > 0:
 		qvec = db.normalizeQuery(q.Values)
 	case haveWindow:
 		si := db.normed.IndexOf(q.Window.Series)
 		if si < 0 {
-			return Result{}, fmt.Errorf("onex: unknown series %q", q.Window.Series)
+			return resolvedQuery{}, fmt.Errorf("onex: unknown series %q", q.Window.Series)
 		}
 		self = ts.SubSeq{Series: si, Start: q.Window.Start, Length: q.Window.Length}
 		if err := self.Validate(db.normed); err != nil {
-			return Result{}, fmt.Errorf("onex: Find: %w", err)
+			return resolvedQuery{}, fmt.Errorf("onex: Find: %w", err)
 		}
 		qvec = self.Values(db.normed)
 	default:
-		return Result{}, errors.New("onex: Find: empty query: provide Values or a Window")
+		return resolvedQuery{}, errors.New("onex: Find: empty query: provide Values or a Window")
 	}
 
 	cons := core.QueryConstraints{MinLength: q.Lengths.Min, MaxLength: q.Lengths.Max}
 	if q.Exclude.Self {
 		if !haveWindow {
-			return Result{}, errors.New("onex: Find: Exclude.Self requires a Window query")
+			return resolvedQuery{}, errors.New("onex: Find: Exclude.Self requires a Window query")
 		}
 		cons.ExcludeOverlap = self
 	}
@@ -266,7 +290,7 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 		for _, name := range q.Exclude.Series {
 			si := db.normed.IndexOf(name)
 			if si < 0 {
-				return Result{}, fmt.Errorf("onex: Find: unknown series %q in Exclude.Series", name)
+				return resolvedQuery{}, fmt.Errorf("onex: Find: unknown series %q in Exclude.Series", name)
 			}
 			cons.ExcludeSeries[si] = true
 		}
@@ -284,27 +308,33 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 		eff.Lengths.Max = db.base.MaxLength
 	}
 
-	res, err := db.engine.Find(ctx, qvec, core.FindOptions{
-		Options:     core.Options{Band: band, Mode: mode, LengthNorm: lengthNorm, Workers: workers},
-		K:           k,
-		Range:       rangeMode,
-		MaxDist:     q.MaxDist,
-		Constraints: cons,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	out := Result{Query: eff, Matches: make([]Match, len(res.Matches))}
-	for i, m := range res.Matches {
+	return resolvedQuery{
+		eff:  eff,
+		qvec: qvec,
+		fo: core.FindOptions{
+			Options:     core.Options{Band: band, Mode: mode, LengthNorm: lengthNorm, Workers: workers},
+			K:           k,
+			Range:       rangeMode,
+			MaxDist:     q.MaxDist,
+			Constraints: cons,
+		},
+	}, nil
+}
+
+// publicResult converts one core answer (matches plus statistics) to the
+// public Result shape. Callers hold db.mu.
+func (db *DB) publicResult(eff Query, ms []core.Match, st core.SearchStats, start time.Time) Result {
+	out := Result{Query: eff, Matches: make([]Match, len(ms))}
+	for i, m := range ms {
 		out.Matches[i] = db.publicMatch(m)
 	}
 	out.Stats = QueryStats{
-		Groups:        res.Stats.Groups,
-		GroupsPruned:  res.Stats.GroupsLBPruned,
-		GroupsRefined: res.Stats.GroupsRefined,
-		Candidates:    res.Stats.Members,
-		DTWs:          res.Stats.DTWs(),
+		Groups:        st.Groups,
+		GroupsPruned:  st.GroupsLBPruned,
+		GroupsRefined: st.GroupsRefined,
+		Candidates:    st.Members,
+		DTWs:          st.DTWs(),
 		WallMicros:    time.Since(start).Microseconds(),
 	}
-	return out, nil
+	return out
 }
