@@ -21,6 +21,20 @@
 // behaviour, fine when operator == analyst). -max-workers caps the worker
 // pool any single query or analyze request may claim, so one client cannot
 // monopolize the box (default: GOMAXPROCS).
+//
+// The serving tier for heavy traffic is opt-in per knob:
+//
+//	onexd -cache-bytes 67108864          # 64 MiB versioned result cache
+//	onexd -rate-limit 50 -rate-burst 100 # per-client token bucket (429 + Retry-After)
+//	onexd -max-inflight 8 -inflight-queue 32  # admission control (503 + Retry-After)
+//
+// -cache-bytes enables the result cache for /query and /analyze, keyed by
+// (dataset, dataset version, canonical request) so ingests invalidate by
+// construction. -rate-limit/-rate-burst and -max-inflight/-inflight-queue
+// shed excess query-class traffic before it reaches the engine. GET
+// /metrics exports request counters, latency histograms, cache
+// hit/miss/eviction counts, the inflight gauge, and rejection counts in
+// Prometheus text format regardless of which knobs are on.
 package main
 
 import (
@@ -28,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,6 +59,11 @@ func main() {
 	preload := flag.String("preload", "", "comma-separated name=source pairs to load at startup")
 	dataDir := flag.String("data-dir", "", "restrict file: load sources to this directory (default: unrestricted)")
 	maxWorkers := flag.Int("max-workers", 0, "per-request cap on query/analyze worker pools (0 = GOMAXPROCS)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget for query/analyze responses (0 = caching off)")
+	rateLimit := flag.Float64("rate-limit", 0, "per-client query-class requests per second (0 = rate limiting off)")
+	rateBurst := flag.Int("rate-burst", 0, "per-client token-bucket burst (default: ceil of -rate-limit)")
+	maxInflight := flag.Int("max-inflight", 0, "concurrent query-class execution slots (0 = admission control off)")
+	inflightQueue := flag.Int("inflight-queue", 0, "requests allowed to wait for a slot before 503 (with -max-inflight)")
 	flag.Parse()
 
 	var opts []server.Option
@@ -52,6 +72,19 @@ func main() {
 	}
 	if *maxWorkers > 0 {
 		opts = append(opts, server.WithMaxWorkers(*maxWorkers))
+	}
+	if *cacheBytes > 0 {
+		opts = append(opts, server.WithCache(*cacheBytes))
+	}
+	if *rateLimit > 0 {
+		burst := *rateBurst
+		if burst <= 0 {
+			burst = int(math.Ceil(*rateLimit))
+		}
+		opts = append(opts, server.WithRateLimit(*rateLimit, burst))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(*maxInflight, *inflightQueue))
 	}
 	srv := server.New(opts...)
 	if *preload != "" {

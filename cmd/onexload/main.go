@@ -1,0 +1,606 @@
+// Command onexload is the serving-tier load harness: it drives many
+// concurrent clients against an onexd-compatible server — mixing unified
+// queries, analytics, progressive streams, and live ingest — and writes a
+// BENCH_serving.json perf-trajectory artifact (latency percentiles,
+// throughput, cache hit rate, rejections, stale-read violations).
+//
+// By default it self-hosts an in-process server (no network setup, the CI
+// smoke path); -addr points it at a live daemon instead.
+//
+//	onexload                                   # self-host, defaults
+//	onexload -clients 16 -duration 10s -out BENCH_serving.json
+//	onexload -addr http://127.0.0.1:8080 -name growth
+//	onexload -check                            # exit 1 on zero hit rate or any stale read
+//
+// The run has three measured segments:
+//
+//	cold   every request is a never-seen query: pure miss path
+//	hot    requests repeat a small query pool: the repeated-query segment
+//	       the result cache turns from O(scan) into O(lookup)
+//	mixed  queries, analytics, streams, and ingest interleaved
+//
+// Stale-read detection is exact-mode monotonicity: ingested series can
+// only improve the certified best distance of the fixed probe query, so a
+// client that ever observes the probe distance increase between its own
+// consecutive responses has been served a result from before an ingest it
+// already saw — exactly the staleness the versioned cache keying is
+// designed to make impossible. A final sweep additionally replays the hot
+// pool with Cache-Control: no-cache and compares cached vs fresh bytes
+// (wall-time fields normalized).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/onex"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "target server base URL (empty = self-host an in-process server)")
+	flag.StringVar(&cfg.name, "name", "bench", "dataset name on the server")
+	flag.StringVar(&cfg.source, "dataset", "cbf", "dataset source for self-hosting (matters:<Ind>, electricity, cbf, walks, ecg, file:<path>)")
+	flag.IntVar(&cfg.clients, "clients", 8, "concurrent client goroutines")
+	flag.DurationVar(&cfg.duration, "duration", 5*time.Second, "wall time per measured segment")
+	flag.IntVar(&cfg.pool, "pool", 16, "distinct queries in the repeated-query (hot) pool")
+	flag.Int64Var(&cfg.cacheBytes, "cache-bytes", 64<<20, "self-hosted server result-cache budget (0 = cache off)")
+	flag.Float64Var(&cfg.rateLimit, "rate-limit", 0, "self-hosted server per-client rate limit (0 = off)")
+	flag.IntVar(&cfg.maxInflight, "max-inflight", 0, "self-hosted server admission slots (0 = off)")
+	flag.IntVar(&cfg.inflightQueue, "inflight-queue", 0, "self-hosted server admission queue")
+	flag.IntVar(&cfg.minLength, "min-length", 4, "self-hosted indexing min length")
+	flag.IntVar(&cfg.maxLength, "max-length", 32, "self-hosted indexing max length")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload RNG seed")
+	flag.StringVar(&cfg.out, "out", "BENCH_serving.json", "report path (empty = stdout only)")
+	flag.BoolVar(&cfg.check, "check", false, "exit 1 unless the cache hit rate is nonzero and no stale read was observed")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatalf("onexload: %v", err)
+	}
+	out, _ := json.MarshalIndent(rep, "", "  ")
+	out = append(out, '\n')
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, out, 0o644); err != nil {
+			log.Fatalf("onexload: write report: %v", err)
+		}
+	}
+	os.Stdout.Write(out)
+	fmt.Fprintf(os.Stderr, "onexload: hot/cold p50 speedup %.1fx, hit rate %.1f%%, %d stale reads\n",
+		rep.HotVsColdP50Speedup, 100*rep.Cache.HitRate, rep.StaleReadErrors)
+	if cfg.check {
+		if rep.Cache.Hits == 0 {
+			log.Fatal("onexload: -check: cache hit count is zero")
+		}
+		if rep.StaleReadErrors > 0 {
+			log.Fatalf("onexload: -check: %d stale reads observed", rep.StaleReadErrors)
+		}
+		if rep.ConsistencyMismatches > 0 {
+			log.Fatalf("onexload: -check: %d cached-vs-fresh mismatches", rep.ConsistencyMismatches)
+		}
+	}
+}
+
+type config struct {
+	addr, name, source         string
+	clients, pool              int
+	duration                   time.Duration
+	cacheBytes                 int64
+	rateLimit                  float64
+	maxInflight, inflightQueue int
+	minLength, maxLength       int
+	seed                       int64
+	out                        string
+	check                      bool
+}
+
+// Report is the BENCH_serving.json schema: the repo's serving-tier perf
+// trajectory, one artifact per commit that touches the serving path.
+type Report struct {
+	GeneratedAt string              `json:"generated_at"`
+	Config      ReportConfig        `json:"config"`
+	Segments    map[string]*Segment `json:"segments"`
+	Cache       CacheReport         `json:"cache"`
+	Rejected    map[string]int64    `json:"rejected"`
+	// StaleReadErrors counts exact-mode monotonicity violations: any
+	// nonzero value means a pre-ingest answer was served post-ingest.
+	StaleReadErrors int64 `json:"stale_read_errors"`
+	// ConsistencyMismatches counts hot-pool responses whose cached bytes
+	// differ from a fresh no-cache recomputation (wall-time normalized).
+	ConsistencyMismatches int64   `json:"consistency_mismatches"`
+	HotVsColdP50Speedup   float64 `json:"hot_vs_cold_p50_speedup"`
+}
+
+type ReportConfig struct {
+	Target     string        `json:"target"` // "self-hosted" or the -addr URL
+	Dataset    string        `json:"dataset"`
+	Clients    int           `json:"clients"`
+	Duration   time.Duration `json:"segment_duration_ns"`
+	Pool       int           `json:"pool"`
+	CacheBytes int64         `json:"cache_bytes"`
+	Seed       int64         `json:"seed"`
+}
+
+// Segment aggregates one measured workload phase.
+type Segment struct {
+	Requests  int64            `json:"requests"`
+	Errors    int64            `json:"errors"`
+	Rejected  int64            `json:"rejected"` // 429/503 responses
+	P50Micros int64            `json:"p50_us"`
+	P95Micros int64            `json:"p95_us"`
+	P99Micros int64            `json:"p99_us"`
+	QPS       float64          `json:"qps"`
+	Ops       map[string]int64 `json:"ops,omitempty"`
+}
+
+type CacheReport struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func run(cfg config) (*Report, error) {
+	base := cfg.addr
+	if base == "" {
+		stop, selfBase, err := selfHost(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		base = selfBase
+	}
+	base = strings.TrimRight(base, "/")
+	w, err := newWorkload(cfg, base)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Config: ReportConfig{
+			Target: targetLabel(cfg), Dataset: cfg.source, Clients: cfg.clients,
+			Duration: cfg.duration, Pool: cfg.pool, CacheBytes: cfg.cacheBytes, Seed: cfg.seed,
+		},
+		Segments: make(map[string]*Segment),
+		Rejected: make(map[string]int64),
+	}
+
+	log.Printf("onexload: cold segment (%s, %d clients, unique queries)", cfg.duration, cfg.clients)
+	rep.Segments["cold"] = w.runSegment(cfg, func(c *clientState) (string, error) { return w.uniqueQuery(c) })
+	log.Printf("onexload: hot segment (%s, %d clients, %d-query pool)", cfg.duration, cfg.clients, cfg.pool)
+	rep.Segments["hot"] = w.runSegment(cfg, func(c *clientState) (string, error) { return w.poolQuery(c) })
+	log.Printf("onexload: mixed segment (%s, queries + analytics + streams + ingest)", cfg.duration)
+	rep.Segments["mixed"] = w.runSegment(cfg, w.mixedOp)
+
+	rep.StaleReadErrors = w.staleReads.Load()
+	rep.ConsistencyMismatches = w.verifyHotPool()
+
+	if err := w.scrapeMetrics(rep); err != nil {
+		return nil, fmt.Errorf("scrape /metrics: %w", err)
+	}
+	if p50c, p50h := rep.Segments["cold"].P50Micros, rep.Segments["hot"].P50Micros; p50h > 0 {
+		rep.HotVsColdP50Speedup = float64(p50c) / float64(p50h)
+	}
+	return rep, nil
+}
+
+func targetLabel(cfg config) string {
+	if cfg.addr == "" {
+		return "self-hosted"
+	}
+	return cfg.addr
+}
+
+// selfHost opens the dataset, builds a serving-tier server, and listens on
+// a loopback port.
+func selfHost(cfg config) (stop func(), base string, err error) {
+	ds, err := server.DatasetForSource(cfg.source)
+	if err != nil {
+		return nil, "", err
+	}
+	db, err := onex.Open(ds, onex.Config{MinLength: cfg.minLength, MaxLength: cfg.maxLength})
+	if err != nil {
+		return nil, "", fmt.Errorf("preprocess %s: %w", cfg.source, err)
+	}
+	opts := []server.Option{server.WithCache(cfg.cacheBytes)}
+	if cfg.rateLimit > 0 {
+		opts = append(opts, server.WithRateLimit(cfg.rateLimit, int(math.Ceil(cfg.rateLimit))))
+	}
+	if cfg.maxInflight > 0 {
+		opts = append(opts, server.WithMaxInflight(cfg.maxInflight, cfg.inflightQueue))
+	}
+	srv := server.New(opts...)
+	srv.AddDB(cfg.name, db)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	st := db.Stats()
+	log.Printf("onexload: self-hosting %s on %s: %d series, %d subsequences, %d groups",
+		cfg.source, ln.Addr(), st.Series, st.Subsequences, st.Groups)
+	return func() { _ = hs.Close() }, "http://" + ln.Addr().String(), nil
+}
+
+// workload holds the generated request material and shared counters.
+type workload struct {
+	base   string
+	name   string
+	client *http.Client
+
+	probe        []float64 // the stale-oracle query vector
+	queryPool    [][]byte  // hot-segment bodies (pre-marshaled onex.Query)
+	analysisPool [][]byte
+	seriesVals   []float64 // base material for unique queries
+	ingestSeq    atomic.Int64
+	staleReads   atomic.Int64
+	rng          *rand.Rand // only for pool construction; clients get their own
+	seed         int64
+}
+
+// clientState is one client goroutine's private state.
+type clientState struct {
+	id        int
+	rng       *rand.Rand
+	probeBest float64 // last certified probe distance this client observed
+	hasBest   bool
+}
+
+func newWorkload(cfg config, base string) (*workload, error) {
+	w := &workload{
+		base:   base,
+		name:   cfg.name,
+		client: &http.Client{Timeout: 60 * time.Second},
+		rng:    rand.New(rand.NewSource(cfg.seed)),
+		seed:   cfg.seed,
+	}
+	// Pull a real series to derive query vectors in original units.
+	var names []string
+	if err := w.getJSON("/api/v1/datasets/"+cfg.name+"/series", &names); err != nil {
+		return nil, fmt.Errorf("list series (is dataset %q loaded?): %w", cfg.name, err)
+	}
+	if len(names) == 0 {
+		return nil, errors.New("dataset has no series")
+	}
+	var sv struct {
+		Values []float64 `json:"values"`
+	}
+	if err := w.getJSON("/api/v1/datasets/"+cfg.name+"/series/"+names[0], &sv); err != nil {
+		return nil, err
+	}
+	if len(sv.Values) < 16 {
+		return nil, fmt.Errorf("series %q too short (%d points) for the workload", names[0], len(sv.Values))
+	}
+	w.seriesVals = sv.Values
+	w.probe = perturb(sv.Values[:12], 0.05, w.rng)
+
+	for range cfg.pool {
+		q := onex.Query{Values: perturb(w.window(w.rng), 0.02, w.rng), K: 3}
+		body, _ := json.Marshal(q)
+		w.queryPool = append(w.queryPool, body)
+	}
+	for _, a := range []onex.Analysis{
+		{Kind: onex.AnalysisOverview, K: 8},
+		{Kind: onex.AnalysisLengthSummaries},
+		{Kind: onex.AnalysisSeasonal, Series: names[0]},
+		{Kind: onex.AnalysisCommonPatterns},
+	} {
+		body, _ := json.Marshal(a)
+		w.analysisPool = append(w.analysisPool, body)
+	}
+	return w, nil
+}
+
+// window cuts a random query window out of the base series.
+func (w *workload) window(rng *rand.Rand) []float64 {
+	l := 8 + rng.Intn(8)
+	start := rng.Intn(len(w.seriesVals) - l)
+	return w.seriesVals[start : start+l]
+}
+
+func perturb(vals []float64, amp float64, rng *rand.Rand) []float64 {
+	out := make([]float64, len(vals))
+	span := 0.0
+	for _, v := range vals {
+		span = math.Max(span, math.Abs(v))
+	}
+	for i, v := range vals {
+		out[i] = v + amp*span*(rng.Float64()*2-1)
+	}
+	return out
+}
+
+// runSegment drives cfg.clients goroutines of op for cfg.duration and
+// aggregates latencies and counts.
+func (w *workload) runSegment(cfg config, op func(*clientState) (string, error)) *Segment {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		seg       = &Segment{Ops: make(map[string]int64)}
+	)
+	deadline := time.Now().Add(cfg.duration)
+	var wg sync.WaitGroup
+	for i := range cfg.clients {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := &clientState{id: i, rng: rand.New(rand.NewSource(w.seed + int64(i)*7919))}
+			var local []time.Duration
+			localOps := make(map[string]int64)
+			for time.Now().Before(deadline) {
+				start := time.Now()
+				kind, err := op(c)
+				local = append(local, time.Since(start))
+				localOps[kind]++
+				mu.Lock()
+				seg.Requests++
+				switch {
+				case errors.Is(err, errRejected):
+					seg.Rejected++
+				case err != nil:
+					seg.Errors++
+				}
+				mu.Unlock()
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			for k, v := range localOps {
+				seg.Ops[k] += v
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	seg.P50Micros = percentile(latencies, 0.50).Microseconds()
+	seg.P95Micros = percentile(latencies, 0.95).Microseconds()
+	seg.P99Micros = percentile(latencies, 0.99).Microseconds()
+	seg.QPS = float64(seg.Requests) / cfg.duration.Seconds()
+	return seg
+}
+
+// percentile reads the p-quantile from an ascending latency slice.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// errRejected marks 429/503 responses: admission shedding, not failures.
+var errRejected = errors.New("rejected by admission control")
+
+// uniqueQuery issues a never-seen-before query: the cold, pure-miss path.
+func (w *workload) uniqueQuery(c *clientState) (string, error) {
+	q := onex.Query{Values: perturb(w.window(c.rng), 0.1, c.rng), K: 3}
+	body, _ := json.Marshal(q)
+	_, _, err := w.post("/api/v1/datasets/"+w.name+"/query", body, false)
+	return "query", err
+}
+
+// poolQuery issues one of the hot pool's fixed queries.
+func (w *workload) poolQuery(c *clientState) (string, error) {
+	body := w.queryPool[c.rng.Intn(len(w.queryPool))]
+	_, _, err := w.post("/api/v1/datasets/"+w.name+"/query", body, false)
+	return "query", err
+}
+
+// mixedOp draws one operation from the mixed-traffic distribution.
+func (w *workload) mixedOp(c *clientState) (string, error) {
+	switch r := c.rng.Float64(); {
+	case r < 0.55:
+		return w.poolQuery(c)
+	case r < 0.70:
+		body := w.analysisPool[c.rng.Intn(len(w.analysisPool))]
+		_, _, err := w.post("/api/v1/datasets/"+w.name+"/analyze", body, false)
+		return "analyze", err
+	case r < 0.80:
+		return "stream", w.streamQuery(c)
+	case r < 0.90:
+		return "probe", w.probeQuery(c)
+	default:
+		return "ingest", w.ingest(c)
+	}
+}
+
+// streamQuery drives the progressive endpoint and drains the NDJSON body.
+func (w *workload) streamQuery(c *clientState) error {
+	q := onex.Query{Values: perturb(w.window(c.rng), 0.05, c.rng), K: 2}
+	body, _ := json.Marshal(q)
+	resp, err := w.client.Post(w.base+"/api/v1/datasets/"+w.name+"/query/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return statusErr(resp.StatusCode)
+}
+
+// probeQuery runs the stale oracle: the fixed probe in certified-exact
+// mode. Ingest only ever adds candidates, so the certified best distance
+// is non-increasing over any one client's sequential observations; an
+// increase proves a stale (pre-ingest) answer was served after a fresher
+// one — with versioned cache keys, impossible unless the keying is broken.
+func (w *workload) probeQuery(c *clientState) error {
+	q := onex.Query{Values: w.probe, K: 1, Mode: onex.ModeExact}
+	body, _ := json.Marshal(q)
+	data, status, err := w.post("/api/v1/datasets/"+w.name+"/query", body, false)
+	if err != nil || status != http.StatusOK {
+		return err
+	}
+	var res onex.Result
+	if jerr := json.Unmarshal(data, &res); jerr != nil || len(res.Matches) == 0 {
+		return jerr
+	}
+	d := res.Matches[0].Dist
+	if c.hasBest && d > c.probeBest+1e-9 {
+		w.staleReads.Add(1)
+	}
+	c.probeBest, c.hasBest = d, true
+	return nil
+}
+
+// ingest appends a fresh series derived from the probe, bumping the
+// dataset version and (eventually) improving the probe's best match.
+func (w *workload) ingest(c *clientState) error {
+	n := w.ingestSeq.Add(1)
+	vals := perturb(w.probe, 0.3/float64(n), c.rng)
+	body, _ := json.Marshal(map[string]any{
+		"series": fmt.Sprintf("onexload-ingest-%d", n),
+		"values": vals,
+	})
+	_, _, err := w.post("/api/v1/datasets/"+w.name+"/series", body, false)
+	return err
+}
+
+// verifyHotPool replays every hot-pool query twice — once normally (a
+// cache hit by now) and once with Cache-Control: no-cache (computed
+// fresh) — and counts byte mismatches after normalizing wall-time fields.
+func (w *workload) verifyHotPool() int64 {
+	var mismatches int64
+	for _, body := range w.queryPool {
+		cached, s1, err1 := w.post("/api/v1/datasets/"+w.name+"/query", body, false)
+		fresh, s2, err2 := w.post("/api/v1/datasets/"+w.name+"/query", body, true)
+		if err1 != nil || err2 != nil || s1 != http.StatusOK || s2 != http.StatusOK {
+			mismatches++
+			continue
+		}
+		if !bytes.Equal(normalizeWall(cached), normalizeWall(fresh)) {
+			mismatches++
+		}
+	}
+	return mismatches
+}
+
+var wallRE = regexp.MustCompile(`"wall_micros":\d+`)
+
+// normalizeWall zeroes the only nondeterministic response field (measured
+// wall time), so equal answers compare byte-equal.
+func normalizeWall(b []byte) []byte {
+	return wallRE.ReplaceAll(b, []byte(`"wall_micros":0`))
+}
+
+// scrapeMetrics fills the cache and rejection numbers from GET /metrics.
+func (w *workload) scrapeMetrics(rep *Report) error {
+	resp, err := w.client.Get(w.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, valStr, ok := strings.Cut(line, " ")
+		if !ok {
+			continue
+		}
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			continue
+		}
+		switch {
+		case name == "onex_cache_hits_total":
+			rep.Cache.Hits = int64(val)
+		case name == "onex_cache_misses_total":
+			rep.Cache.Misses = int64(val)
+		case name == "onex_cache_evictions_total":
+			rep.Cache.Evictions = int64(val)
+		case strings.HasPrefix(name, "onex_rejected_total{"):
+			if reason, found := labelValue(name, "reason"); found {
+				rep.Rejected[reason] = int64(val)
+			}
+		}
+	}
+	if total := rep.Cache.Hits + rep.Cache.Misses; total > 0 {
+		rep.Cache.HitRate = float64(rep.Cache.Hits) / float64(total)
+	}
+	return nil
+}
+
+// labelValue extracts one label's value from a metric sample name like
+// `family{reason="overload"}`.
+func labelValue(sample, label string) (string, bool) {
+	i := strings.Index(sample, label+"=\"")
+	if i < 0 {
+		return "", false
+	}
+	rest := sample[i+len(label)+2:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return rest[:j], true
+}
+
+// post issues one JSON POST, fully reading the response. noCache opts out
+// of the server's cache read for this request.
+func (w *workload) post(path string, body []byte, noCache bool) ([]byte, int, error) {
+	req, err := http.NewRequest(http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if noCache {
+		req.Header.Set("Cache-Control", "no-cache")
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return data, resp.StatusCode, statusErr(resp.StatusCode)
+}
+
+func (w *workload) getJSON(path string, v any) error {
+	resp, err := w.client.Get(w.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func statusErr(code int) error {
+	switch {
+	case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+		return errRejected
+	case code >= 400:
+		return fmt.Errorf("status %d", code)
+	default:
+		return nil
+	}
+}

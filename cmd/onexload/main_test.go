@@ -1,0 +1,97 @@
+package main
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestPercentile(t *testing.T) {
+	var sorted []time.Duration
+	for i := 1; i <= 100; i++ {
+		sorted = append(sorted, time.Duration(i)*time.Millisecond)
+	}
+	for _, tc := range []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50 * time.Millisecond},
+		{0.95, 95 * time.Millisecond},
+		{0.99, 99 * time.Millisecond},
+		{1.00, 100 * time.Millisecond},
+	} {
+		if got := percentile(sorted, tc.p); got != tc.want {
+			t.Errorf("percentile(p=%g) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+func TestNormalizeWall(t *testing.T) {
+	in := `{"stats":{"wall_micros":12345,"dtws":7},"more":{"wall_micros":9}}`
+	want := `{"stats":{"wall_micros":0,"dtws":7},"more":{"wall_micros":0}}`
+	if got := string(normalizeWall([]byte(in))); got != want {
+		t.Errorf("normalizeWall = %s", got)
+	}
+	// Equal answers with different timings compare equal after normalizing.
+	a := `{"matches":[],"stats":{"wall_micros":100}}`
+	b := `{"matches":[],"stats":{"wall_micros":999}}`
+	if string(normalizeWall([]byte(a))) != string(normalizeWall([]byte(b))) {
+		t.Error("same answer with different wall times not normalized equal")
+	}
+}
+
+func TestLabelValue(t *testing.T) {
+	for _, tc := range []struct {
+		sample, label, want string
+		ok                  bool
+	}{
+		{`onex_rejected_total{reason="overload"}`, "reason", "overload", true},
+		{`m{a="1",reason="rate_limit"}`, "reason", "rate_limit", true},
+		{`m{a="1"}`, "reason", "", false},
+	} {
+		got, ok := labelValue(tc.sample, tc.label)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("labelValue(%q, %q) = %q, %v; want %q, %v", tc.sample, tc.label, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestStatusErr(t *testing.T) {
+	if err := statusErr(http.StatusOK); err != nil {
+		t.Errorf("200 -> %v", err)
+	}
+	for _, code := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		if err := statusErr(code); !errors.Is(err, errRejected) {
+			t.Errorf("%d -> %v, want errRejected", code, err)
+		}
+	}
+	if err := statusErr(http.StatusBadRequest); err == nil || errors.Is(err, errRejected) {
+		t.Errorf("400 -> %v, want plain error", err)
+	}
+}
+
+func TestPerturbShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := []float64{1, -2, 3}
+	out := perturb(in, 0.1, rng)
+	if len(out) != len(in) {
+		t.Fatalf("len = %d", len(out))
+	}
+	for i := range in {
+		if d := out[i] - in[i]; d < -0.3 || d > 0.3 {
+			t.Errorf("element %d perturbed by %g, beyond amp*span", i, d)
+		}
+	}
+	// amp 0 is the identity.
+	same := perturb(in, 0, rng)
+	for i := range in {
+		if same[i] != in[i] {
+			t.Errorf("amp=0 changed element %d", i)
+		}
+	}
+}

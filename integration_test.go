@@ -183,6 +183,108 @@ func TestPipelineIncrementalInsertEndToEnd(t *testing.T) {
 	}
 }
 
+// TestPipelineServingTierEndToEnd drives the full serving tier at once —
+// versioned result cache, admission gate, rate limiter (configured too
+// loose to fire), and /metrics — through one load→query→ingest→query
+// journey, asserting cached answers agree with direct library calls
+// before and after the ingest.
+func TestPipelineServingTierEndToEnd(t *testing.T) {
+	data := gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate, Periods: 16})
+	db, err := onex.Open(data, onex.Config{MinLength: 4, MaxLength: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.WithCache(1<<20), server.WithRateLimit(1e6, 1e6), server.WithMaxInflight(4, 16))
+	srv.AddDB("growth", db)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	post := func(path, body string) (int, []byte) {
+		resp, err := http.Post(hts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, buf.Bytes()
+	}
+
+	const q = `{"window":{"series":"MA","start":2,"length":8},"k":1,"mode":"exact","exclude":{"self":true}}`
+	st, first := post("/api/v1/datasets/growth/query", q)
+	if st != http.StatusOK {
+		t.Fatalf("query status %d: %s", st, first)
+	}
+	st, repeat := post("/api/v1/datasets/growth/query", q)
+	if st != http.StatusOK || !bytes.Equal(first, repeat) {
+		t.Fatal("repeated query not served byte-identically from cache")
+	}
+	var res onex.Result
+	if err := json.Unmarshal(repeat, &res); err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.BestMatchOtherSeries("MA", 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window exclude-self differs from exclude-source only when the best
+	// match is in MA itself; compare against the appropriate oracle.
+	if len(res.Matches) == 0 || res.Matches[0].Dist > want.Dist+1e-9 && res.Matches[0].Series != "MA" {
+		t.Fatalf("cached answer %+v worse than library answer %+v", res.Matches, want)
+	}
+
+	// Ingest a decisive new best match; the cache must refresh.
+	ma, err := db.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone := make([]float64, len(ma))
+	for i, v := range ma {
+		clone[i] = v + 0.0001
+	}
+	cb, _ := json.Marshal(map[string]any{"series": "MA-twin", "values": clone})
+	if st, body := post("/api/v1/datasets/growth/series", string(cb)); st != http.StatusOK {
+		t.Fatalf("ingest status %d: %s", st, body)
+	}
+	st, after := post("/api/v1/datasets/growth/query", q)
+	if st != http.StatusOK {
+		t.Fatalf("post-ingest query status %d", st)
+	}
+	var res2 onex.Result
+	if err := json.Unmarshal(after, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Matches) == 0 || res2.Matches[0].Series != "MA-twin" {
+		t.Fatalf("post-ingest cached query missed the new best match: %+v", res2.Matches)
+	}
+
+	// /metrics reflects the journey: hits, misses, and the bumped version.
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, needle := range []string{
+		`onex_dataset_version{dataset="growth"} 2`,
+		`onex_http_requests_total{endpoint="query",code="200"} 3`,
+		`onex_http_requests_total{endpoint="ingest",code="200"} 1`,
+	} {
+		if !strings.Contains(text, needle) {
+			t.Errorf("/metrics missing %q", needle)
+		}
+	}
+	if !strings.Contains(text, "onex_cache_hits_total 1") {
+		t.Errorf("/metrics cache hits not 1:\n%s", text)
+	}
+}
+
 // TestDeterminism: generators, bases and rendered charts are pure
 // functions of their seeds — the property every EXPERIMENTS.md number
 // relies on.

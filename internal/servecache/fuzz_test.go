@@ -1,0 +1,88 @@
+package servecache
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/onex"
+)
+
+// FuzzCanonicalQuery feeds arbitrary JSON through the same decode step the
+// HTTP layer uses and asserts the canonicalizer's contract: it never
+// panics, it is deterministic, and it is stable under a JSON round trip of
+// the decoded request (a re-sent request must hit the same entry).
+func FuzzCanonicalQuery(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"values":[1,2,3],"k":2}`,
+		`{"window":{"series":"MA","start":3,"length":8},"k":1,"mode":"exact"}`,
+		`{"values":[0.5],"max_dist":0.25,"exclude":{"self":true,"series":["a","b"]}}`,
+		`{"values":[1e308,-1e-308,0],"lengths":{"min":4,"max":10},"band":2}`,
+		`{"values":[1,2],"length_norm":"raw","workers":4}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var q onex.Query
+		if err := json.Unmarshal(data, &q); err != nil {
+			return // not a decodable request; the handler rejects it first
+		}
+		key := CanonicalQuery(q)
+		if key == "" {
+			t.Fatal("empty key")
+		}
+		if again := CanonicalQuery(q); again != key {
+			t.Fatalf("nondeterministic: %q vs %q", key, again)
+		}
+		// Round-trip the decoded struct: what a client would send on retry.
+		reenc, err := json.Marshal(q)
+		if err != nil {
+			return // NaN/Inf values decoded from nonstandard JSON don't re-encode
+		}
+		var q2 onex.Query
+		if err := json.Unmarshal(reenc, &q2); err != nil {
+			t.Fatalf("re-decode %s: %v", reenc, err)
+		}
+		if CanonicalQuery(q2) != key {
+			t.Fatalf("round trip changed key:\n was %q\n now %q", key, CanonicalQuery(q2))
+		}
+	})
+}
+
+// FuzzCanonicalAnalysis is FuzzCanonicalQuery for the analytics request.
+func FuzzCanonicalAnalysis(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"kind":"overview","k":8}`,
+		`{"kind":"seasonal","series":"MA","lengths":{"min":4,"max":10}}`,
+		`{"kind":"common-patterns","min_series":3,"k":5}`,
+		`{"kind":"similarity-sweep","values":[1,2,3],"thresholds":[0.1,0.2,0.4]}`,
+		`{"kind":"group-members","length":8,"index":2}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var a onex.Analysis
+		if err := json.Unmarshal(data, &a); err != nil {
+			return
+		}
+		key := CanonicalAnalysis(a)
+		if key == "" {
+			t.Fatal("empty key")
+		}
+		if again := CanonicalAnalysis(a); again != key {
+			t.Fatalf("nondeterministic: %q vs %q", key, again)
+		}
+		reenc, err := json.Marshal(a)
+		if err != nil {
+			return
+		}
+		var a2 onex.Analysis
+		if err := json.Unmarshal(reenc, &a2); err != nil {
+			t.Fatalf("re-decode %s: %v", reenc, err)
+		}
+		if CanonicalAnalysis(a2) != key {
+			t.Fatalf("round trip changed key:\n was %q\n now %q", key, CanonicalAnalysis(a2))
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package servecache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutRoundTrip(t *testing.T) {
+	c := New(1 << 20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", []byte("alpha"))
+	got, ok := c.Get("a")
+	if !ok || string(got) != "alpha" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	// Replacement keeps one entry and returns the new value.
+	c.Put("a", []byte("beta"))
+	got, _ = c.Get("a")
+	if string(got) != "beta" {
+		t.Fatalf("after replace Get = %q", got)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// Budget fits exactly two entries (key 1 byte + val 1 byte + overhead).
+	c := New(2 * (2 + entryOverhead))
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a") // a is now most recently used
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted as LRU")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a (recently used) evicted instead of b")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("newest entry c missing")
+	}
+	if ev := c.Stats().Evictions; ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestByteBudgetBound(t *testing.T) {
+	budget := int64(10 * (8 + 64 + entryOverhead))
+	c := New(budget)
+	for i := range 1000 {
+		c.Put(fmt.Sprintf("key-%04d", i), make([]byte, 64))
+		if st := c.Stats(); st.Bytes > budget {
+			t.Fatalf("after put %d: bytes %d over budget %d", i, st.Bytes, budget)
+		}
+	}
+	st := c.Stats()
+	if st.Entries == 0 || st.Entries > 10 {
+		t.Fatalf("entries = %d, want 1..10", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite 100x overflow")
+	}
+}
+
+func TestOversizeValueNotStored(t *testing.T) {
+	c := New(256)
+	c.Put("big", make([]byte, 1024))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize value was stored")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("stats after oversize put = %+v", st)
+	}
+}
+
+func TestReplaceAdjustsBytesAndEvicts(t *testing.T) {
+	budget := int64(2*(1+4+entryOverhead)) + 8
+	c := New(budget)
+	c.Put("a", []byte("AAAA"))
+	c.Put("b", []byte("BBBB"))
+	// Growing a's value must push the cache over budget and evict b (LRU).
+	c.Put("a", make([]byte, 4+entryOverhead))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived a replacement that exceeded the budget")
+	}
+	if st := c.Stats(); st.Bytes > budget {
+		t.Fatalf("bytes %d over budget %d after replace", st.Bytes, budget)
+	}
+}
+
+func TestNonPositiveBudgetStoresNothing(t *testing.T) {
+	for _, budget := range []int64{0, -1} {
+		c := New(budget)
+		c.Put("a", []byte("x"))
+		if _, ok := c.Get("a"); ok {
+			t.Fatalf("budget %d stored an entry", budget)
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	// Exercised under -race in CI: mixed Get/Put/Stats from many
+	// goroutines over a budget small enough to force constant eviction.
+	c := New(20 * (8 + 16 + entryOverhead))
+	var wg sync.WaitGroup
+	for g := range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range 500 {
+				key := fmt.Sprintf("key-%03d", (g*131+i)%50)
+				if v, ok := c.Get(key); ok && len(v) != 16 {
+					t.Errorf("corrupt value length %d", len(v))
+					return
+				}
+				c.Put(key, make([]byte, 16))
+				_ = c.Stats()
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > st.MaxBytes {
+		t.Fatalf("bytes %d over budget %d after concurrent churn", st.Bytes, st.MaxBytes)
+	}
+}

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGateInflightNeverExceedsCap hammers the gate from many goroutines
+// and asserts the structural invariant: concurrent holders never exceed
+// the slot count. Run under -race in CI.
+func TestGateInflightNeverExceedsCap(t *testing.T) {
+	const slots = 4
+	g := newGate(slots, 64)
+	var inflight, peak atomic.Int64
+	var wg sync.WaitGroup
+	for range 32 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 50 {
+				if err := g.admit(context.Background()); err != nil {
+					t.Errorf("admit: %v", err)
+					return
+				}
+				n := inflight.Add(1)
+				for {
+					p := peak.Load()
+					if n <= p || peak.CompareAndSwap(p, n) {
+						break
+					}
+				}
+				inflight.Add(-1)
+				g.release()
+			}
+		}()
+	}
+	wg.Wait()
+	if p := peak.Load(); p > slots {
+		t.Fatalf("peak inflight %d exceeded %d slots", p, slots)
+	}
+}
+
+// TestGateOverflowAndQueue: with the slots held, admissions fill the queue
+// and the next one is rejected with errOverloaded; a queued waiter is
+// released by its context.
+func TestGateOverflowAndQueue(t *testing.T) {
+	g := newGate(1, 1)
+	if err := g.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fits in the queue.
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- g.admit(ctx) }()
+	// Wait until the waiter occupies the queue slot.
+	for g.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue full: immediate overload.
+	if err := g.admit(context.Background()); err != errOverloaded {
+		t.Fatalf("admit with full queue = %v, want errOverloaded", err)
+	}
+	// The queued waiter honours its context.
+	cancel()
+	if err := <-waiterErr; err != context.Canceled {
+		t.Fatalf("canceled waiter got %v", err)
+	}
+	// Releasing the slot admits fresh arrivals again.
+	g.release()
+	if err := g.admit(context.Background()); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+// TestRateLimiterRefill drives the token bucket on a fake clock: burst
+// spends down to rejection, time refills at the configured rate, and
+// distinct clients have independent buckets.
+func TestRateLimiterRefill(t *testing.T) {
+	rl := newRateLimiter(2, 2) // 2 rps, burst 2
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+
+	for i := range 2 {
+		if _, ok := rl.allow("a"); !ok {
+			t.Fatalf("burst request %d rejected", i)
+		}
+	}
+	wait, ok := rl.allow("a")
+	if ok {
+		t.Fatal("request beyond burst allowed")
+	}
+	if wait <= 0 || wait > 500*time.Millisecond {
+		t.Fatalf("retry wait = %v, want (0, 500ms]", wait)
+	}
+	// Another client is unaffected.
+	if _, ok := rl.allow("b"); !ok {
+		t.Fatal("independent client rejected")
+	}
+	// Half a second at 2 rps refills one token.
+	now = now.Add(500 * time.Millisecond)
+	if _, ok := rl.allow("a"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if _, ok := rl.allow("a"); ok {
+		t.Fatal("second token granted after refilling only one")
+	}
+}
+
+// TestRateLimiterSweep: at the tracking cap, idle (fully refilled) buckets
+// are dropped so new clients can still be admitted.
+func TestRateLimiterSweep(t *testing.T) {
+	rl := newRateLimiter(100, 1)
+	now := time.Unix(1000, 0)
+	rl.now = func() time.Time { return now }
+	for i := 0; i < maxTrackedClients; i++ {
+		rl.allow(string(rune('a')) + string(rune(i)))
+	}
+	now = now.Add(time.Minute) // everyone refills
+	if _, ok := rl.allow("fresh-client"); !ok {
+		t.Fatal("fresh client rejected at tracking cap")
+	}
+	if n := len(rl.clients); n >= maxTrackedClients {
+		t.Fatalf("sweep kept %d buckets", n)
+	}
+}
+
+func TestClientKey(t *testing.T) {
+	for _, tc := range []struct {
+		remote, xff, want string
+	}{
+		{"10.0.0.9:1234", "", "10.0.0.9"},
+		{"10.0.0.9:1234", "203.0.113.7", "203.0.113.7"},
+		{"10.0.0.9:1234", "203.0.113.7, 10.0.0.1", "203.0.113.7"},
+		{"not-host-port", "", "not-host-port"},
+	} {
+		r := httptest.NewRequest(http.MethodPost, "/x", nil)
+		r.RemoteAddr = tc.remote
+		if tc.xff != "" {
+			r.Header.Set("X-Forwarded-For", tc.xff)
+		}
+		if got := clientKey(r); got != tc.want {
+			t.Errorf("clientKey(remote=%q, xff=%q) = %q, want %q", tc.remote, tc.xff, got, tc.want)
+		}
+	}
+}
+
+// TestRateLimitHTTP429: past the burst, the query endpoint answers 429
+// with a Retry-After header, and /metrics counts the rejection.
+func TestRateLimitHTTP429(t *testing.T) {
+	s, hts := newServingTestServer(t, WithRateLimit(0.001, 2))
+	now := time.Unix(1000, 0)
+	s.limiter.now = func() time.Time { return now }
+	url := hts.URL + "/api/v1/datasets/growth/query"
+	const q = `{"window":{"series":"MA","start":0,"length":8},"k":1}`
+
+	for i := range 2 {
+		if st, body := postBody(t, url, q, nil); st != http.StatusOK {
+			t.Fatalf("burst request %d status = %d (%s)", i, st, body)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodPost, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Meta endpoints stay reachable: rate limiting only guards heavy routes.
+	if st := func() int {
+		r, err := http.Get(hts.URL + "/api/v1/datasets/growth/series")
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		return r.StatusCode
+	}(); st != http.StatusOK {
+		t.Fatalf("meta endpoint status under rate limiting = %d", st)
+	}
+}
+
+// TestAdmissionHTTP503: with the single slot held, an unqueueable request
+// is rejected 503 + Retry-After without reaching the engine, and the
+// inflight gauge never exceeds the cap.
+func TestAdmissionHTTP503(t *testing.T) {
+	s, hts := newServingTestServer(t, WithMaxInflight(1, 0))
+	url := hts.URL + "/api/v1/datasets/growth/query"
+
+	// Occupy the only slot directly; HTTP requests must now overflow.
+	if err := s.gate.admit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPost, url, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status with full gate = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 without Retry-After")
+	}
+	s.gate.release()
+
+	// With the slot free, many concurrent requests all eventually succeed
+	// or shed, and the inflight gauge never exceeds the cap.
+	var wg sync.WaitGroup
+	var maxSeen atomic.Int64
+	for range 8 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range 5 {
+				st, _ := postBody(t, url, `{"window":{"series":"MA","start":0,"length":8},"k":1}`, nil)
+				if st != http.StatusOK && st != http.StatusServiceUnavailable {
+					t.Errorf("status = %d", st)
+				}
+				if n := s.metrics.inflight.Load(); n > maxSeen.Load() {
+					maxSeen.Store(n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if m := maxSeen.Load(); m > 1 {
+		t.Fatalf("inflight gauge reached %d with a 1-slot gate", m)
+	}
+}

@@ -1,0 +1,85 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/onex"
+)
+
+// fuzzServer builds one cached server per fuzz process, shared across
+// executions (the handlers are concurrency-safe; rebuilding the index per
+// input would dominate the fuzz budget). ServeHTTP is driven directly so a
+// handler panic fails the fuzz target instead of being swallowed by
+// net/http's connection recover.
+var fuzzServer = sync.OnceValue(func() *Server {
+	db, err := onex.Open(gen.Matters(gen.MattersOptions{Indicator: gen.GrowthRate, Periods: 12}),
+		onex.Config{MinLength: 4, MaxLength: 8})
+	if err != nil {
+		panic(err)
+	}
+	s := New(WithCache(1 << 18))
+	s.AddDB("growth", db)
+	return s
+})
+
+// fuzzPost runs one in-process POST and checks the decoder contract: no
+// panic, and a status from the endpoint's documented set.
+func fuzzPost(t *testing.T, path string, body []byte) {
+	s := fuzzServer()
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	switch rec.Code {
+	case http.StatusOK, http.StatusBadRequest, http.StatusNotFound:
+	default:
+		t.Fatalf("status %d for body %q", rec.Code, body)
+	}
+	if rec.Body.Len() == 0 {
+		t.Fatalf("empty response body for %q", body)
+	}
+}
+
+// FuzzQueryDecode throws arbitrary bytes at the unified query endpoint:
+// the decode-validate-execute path (including cache keying) must never
+// panic and must answer with a documented status.
+func FuzzQueryDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`not json at all`,
+		`{"values":[1,2,3],"k":2}`,
+		`{"window":{"series":"MA","start":0,"length":8},"k":1,"mode":"exact"}`,
+		`{"values":[1e309]}`,
+		`{"values":[0.1,0.2],"max_dist":-3,"band":-1,"workers":-2}`,
+		`{"window":{"series":"no-such-series","start":-5,"length":999}}`,
+		`{"values":[1,2,3],"lengths":{"min":9,"max":4}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/api/v1/datasets/growth/query", body)
+	})
+}
+
+// FuzzAnalyzeDecode is FuzzQueryDecode for the analytics endpoint.
+func FuzzAnalyzeDecode(f *testing.F) {
+	for _, seed := range []string{
+		`{}`,
+		`{"kind":"overview","k":4}`,
+		`{"kind":"seasonal","series":"MA","min_occurrences":-1}`,
+		`{"kind":"group-members","length":6,"index":9999}`,
+		`{"kind":"similarity-sweep","values":[1,2],"thresholds":[0.5,-0.5]}`,
+		`{"kind":"zzz"}`,
+		`[1,2,3]`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/api/v1/datasets/growth/analyze", body)
+	})
+}

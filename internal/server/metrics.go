@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the request-duration histogram bounds in seconds,
+// spanning cache hits (sub-millisecond) through cold exact-mode scans.
+// An implicit +Inf bucket follows the last bound.
+var latencyBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metrics is the server's observability state, exported by GET /metrics in
+// Prometheus text format without external dependencies. Counters are
+// cumulative since process start; gauges are sampled at scrape time.
+type metrics struct {
+	mu       sync.Mutex
+	requests map[requestKey]uint64 // onex_http_requests_total{endpoint,code}
+	latency  map[string]*histogram // onex_http_request_duration_seconds{endpoint}
+	rejected map[string]uint64     // onex_rejected_total{reason}
+
+	cacheHits   atomic.Uint64 // cache decisions, including stream bypasses
+	cacheMisses atomic.Uint64
+	inflight    atomic.Int64 // admitted heavy requests currently executing
+}
+
+type requestKey struct {
+	endpoint string
+	code     int
+}
+
+// histogram is a fixed-bucket latency histogram. Guarded by metrics.mu.
+type histogram struct {
+	counts []uint64 // one per bucket bound, plus a final +Inf slot
+	sum    float64
+	total  uint64
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[requestKey]uint64),
+		latency:  make(map[string]*histogram),
+		rejected: make(map[string]uint64),
+	}
+}
+
+// observe records one finished request: its terminal status code and wall
+// time, bucketed per endpoint class.
+func (m *metrics) observe(endpoint string, code int, d time.Duration) {
+	secs := d.Seconds()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.requests[requestKey{endpoint, code}]++
+	h := m.latency[endpoint]
+	if h == nil {
+		h = &histogram{counts: make([]uint64, len(latencyBuckets)+1)}
+		m.latency[endpoint] = h
+	}
+	i := sort.SearchFloat64s(latencyBuckets, secs)
+	h.counts[i]++
+	h.sum += secs
+	h.total++
+}
+
+// reject counts one request turned away before execution (rate_limit or
+// overload).
+func (m *metrics) reject(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// handleMetrics serves GET /metrics: the request/latency/rejection state
+// above plus cache occupancy and per-dataset versions sampled at scrape
+// time. Families and label sets are emitted in sorted order, so the output
+// is deterministic for a fixed state (the golden test relies on that).
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.metrics
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+
+	m.mu.Lock()
+	fmt.Fprintf(w, "# HELP onex_http_requests_total HTTP requests served, by endpoint class and status code.\n")
+	fmt.Fprintf(w, "# TYPE onex_http_requests_total counter\n")
+	reqKeys := make([]requestKey, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Slice(reqKeys, func(i, j int) bool {
+		if reqKeys[i].endpoint != reqKeys[j].endpoint {
+			return reqKeys[i].endpoint < reqKeys[j].endpoint
+		}
+		return reqKeys[i].code < reqKeys[j].code
+	})
+	for _, k := range reqKeys {
+		fmt.Fprintf(w, "onex_http_requests_total{endpoint=%q,code=\"%d\"} %d\n", k.endpoint, k.code, m.requests[k])
+	}
+
+	fmt.Fprintf(w, "# HELP onex_http_request_duration_seconds Request wall time, by endpoint class.\n")
+	fmt.Fprintf(w, "# TYPE onex_http_request_duration_seconds histogram\n")
+	endpoints := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		h := m.latency[e]
+		var cum uint64
+		for i, bound := range latencyBuckets {
+			cum += h.counts[i]
+			fmt.Fprintf(w, "onex_http_request_duration_seconds_bucket{endpoint=%q,le=%q} %d\n",
+				e, strconv.FormatFloat(bound, 'g', -1, 64), cum)
+		}
+		fmt.Fprintf(w, "onex_http_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", e, h.total)
+		fmt.Fprintf(w, "onex_http_request_duration_seconds_sum{endpoint=%q} %g\n", e, h.sum)
+		fmt.Fprintf(w, "onex_http_request_duration_seconds_count{endpoint=%q} %d\n", e, h.total)
+	}
+
+	fmt.Fprintf(w, "# HELP onex_rejected_total Requests rejected by admission control, by reason.\n")
+	fmt.Fprintf(w, "# TYPE onex_rejected_total counter\n")
+	reasons := make([]string, 0, len(m.rejected))
+	for r := range m.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "onex_rejected_total{reason=%q} %d\n", r, m.rejected[r])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP onex_cache_hits_total Result-cache lookups answered from the cache.\n")
+	fmt.Fprintf(w, "# TYPE onex_cache_hits_total counter\n")
+	fmt.Fprintf(w, "onex_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "# HELP onex_cache_misses_total Result-cache lookups that executed the request (streaming bypasses count as misses).\n")
+	fmt.Fprintf(w, "# TYPE onex_cache_misses_total counter\n")
+	fmt.Fprintf(w, "onex_cache_misses_total %d\n", m.cacheMisses.Load())
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		fmt.Fprintf(w, "# HELP onex_cache_evictions_total Result-cache entries dropped by byte-budget pressure.\n")
+		fmt.Fprintf(w, "# TYPE onex_cache_evictions_total counter\n")
+		fmt.Fprintf(w, "onex_cache_evictions_total %d\n", cs.Evictions)
+		fmt.Fprintf(w, "# HELP onex_cache_bytes Result-cache occupancy in bytes (keys + values + overhead).\n")
+		fmt.Fprintf(w, "# TYPE onex_cache_bytes gauge\n")
+		fmt.Fprintf(w, "onex_cache_bytes %d\n", cs.Bytes)
+		fmt.Fprintf(w, "# HELP onex_cache_entries Live result-cache entries.\n")
+		fmt.Fprintf(w, "# TYPE onex_cache_entries gauge\n")
+		fmt.Fprintf(w, "onex_cache_entries %d\n", cs.Entries)
+		fmt.Fprintf(w, "# HELP onex_cache_capacity_bytes Configured result-cache byte budget.\n")
+		fmt.Fprintf(w, "# TYPE onex_cache_capacity_bytes gauge\n")
+		fmt.Fprintf(w, "onex_cache_capacity_bytes %d\n", cs.MaxBytes)
+	}
+
+	fmt.Fprintf(w, "# HELP onex_inflight_requests Admitted query-class requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE onex_inflight_requests gauge\n")
+	fmt.Fprintf(w, "onex_inflight_requests %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP onex_dataset_version Monotone mutation counter per loaded dataset (bumped by every ingest).\n")
+	fmt.Fprintf(w, "# TYPE onex_dataset_version gauge\n")
+	s.mu.RLock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	dbs := make(map[string]uint64, len(names))
+	for _, n := range names {
+		dbs[n] = s.dbs[n].Version()
+	}
+	s.mu.RUnlock()
+	for _, n := range names {
+		fmt.Fprintf(w, "onex_dataset_version{dataset=%q} %d\n", n, dbs[n])
+	}
+}

@@ -8,6 +8,7 @@
 //
 //	GET  /                                        demo HTML page
 //	GET  /healthz (also /api/v1/healthz)          liveness: build info + dataset count
+//	GET  /metrics                                 Prometheus text metrics (requests, latency, cache, admission)
 //	GET  /api/v1/datasets                         loaded datasets + stats
 //	POST /api/v1/datasets/load                    load+preprocess (see LoadRequest)
 //	GET  /api/v1/datasets/{name}/series           series names
@@ -33,6 +34,10 @@
 // bodies map 1:1 onto onex.Query and onex.Analysis, their responses are
 // the full onex.Result / onex.AnalysisResult (payload, resolved request,
 // stats), and cancelling the HTTP request cancels the underlying walk.
+// Under load they are defended by the serving tier: WithCache answers
+// repeated requests from a dataset-version-keyed result cache, WithRateLimit
+// and WithMaxInflight shed excess traffic with 429/503 + Retry-After, and
+// GET /metrics exports the whole picture in Prometheus text format.
 // The query/stream endpoint is the progressive variant: the same body,
 // answered as NDJSON — the approximate top-k first, one line per
 // certified refinement wave, terminating with the exact result — with a
@@ -55,6 +60,7 @@ import (
 	"sync"
 
 	"repro/internal/gen"
+	"repro/internal/servecache"
 	"repro/internal/ts"
 	"repro/onex"
 )
@@ -66,6 +72,15 @@ type Server struct {
 	mux        *http.ServeMux
 	dataDir    string // when set, "file:" load sources must resolve inside it
 	maxWorkers int    // per-request cap on Query/Analysis Workers (0 = GOMAXPROCS)
+
+	// Serving tier (see docs/ARCHITECTURE.md, "serving tier"): a versioned
+	// result cache, per-client rate limiting, concurrent-query admission
+	// control, and the /metrics registry. cache, limiter, and gate are nil
+	// when the corresponding option is off; metrics is always live.
+	cache   *servecache.Cache
+	limiter *rateLimiter
+	gate    *gate
+	metrics *metrics
 }
 
 // Option customizes a Server at construction.
@@ -104,9 +119,54 @@ func (s *Server) capWorkers(w int) int {
 	return w
 }
 
+// WithCache enables the versioned result cache for the unified query and
+// analyze endpoints, bounded to maxBytes of encoded responses. Entries are
+// keyed by (dataset, dataset version, canonicalized request), so an ingest
+// — which bumps the dataset version — makes every earlier entry
+// unreachable: a stale answer is never served, with no flush to race
+// against. Streaming responses are never cached (each is consumed once)
+// but count as cache misses in /metrics. maxBytes <= 0 leaves caching off.
+func WithCache(maxBytes int64) Option {
+	return func(s *Server) {
+		if maxBytes > 0 {
+			s.cache = servecache.New(maxBytes)
+		}
+	}
+}
+
+// WithRateLimit applies a per-client token bucket to the query-class
+// endpoints (query, query/stream, analyze, and the legacy query aliases):
+// each client accrues rps tokens per second up to burst, and a request
+// with no token available is rejected with 429 and a Retry-After header.
+// Clients are keyed by the first X-Forwarded-For hop when present (trust
+// it only behind a proxy that strips client-supplied values), else the
+// remote IP. rps <= 0 leaves rate limiting off; burst < 1 is raised to 1.
+func WithRateLimit(rps float64, burst int) Option {
+	return func(s *Server) {
+		if rps > 0 {
+			s.limiter = newRateLimiter(rps, burst)
+		}
+	}
+}
+
+// WithMaxInflight bounds concurrent query-class execution to n slots with
+// a wait queue of queue requests layered on top: requests beyond n wait
+// their turn (bounded by their own context), and requests beyond n+queue
+// are rejected immediately with 503 and a Retry-After header. Combined
+// with WithMaxWorkers this caps the server's total query parallelism at
+// n * maxWorkers regardless of offered load. n <= 0 leaves admission
+// control off; queue < 0 is treated as 0.
+func WithMaxInflight(n, queue int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.gate = newGate(n, max(queue, 0))
+		}
+	}
+}
+
 // New builds an empty server.
 func New(opts ...Option) *Server {
-	s := &Server{dbs: make(map[string]*onex.DB), mux: http.NewServeMux()}
+	s := &Server{dbs: make(map[string]*onex.DB), mux: http.NewServeMux(), metrics: newMetrics()}
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -141,23 +201,26 @@ func (s *Server) api(method, path string, h http.HandlerFunc) {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("GET /{$}", s.handleIndex)
-	s.api("GET", "/datasets", s.handleListDatasets)
-	s.api("POST", "/datasets/load", s.handleLoad)
-	s.api("GET", "/datasets/{name}/series", s.handleSeriesNames)
-	s.api("POST", "/datasets/{name}/series", s.handleAddSeries)
-	s.api("GET", "/datasets/{name}/series/{series}", s.handleSeriesValues)
-	s.api("GET", "/datasets/{name}/overview", s.handleOverview)
-	s.api("GET", "/datasets/{name}/lengths", s.handleLengths)
-	s.api("GET", "/datasets/{name}/groups/{length}/{index}", s.handleGroupMembers)
-	s.api("POST", "/datasets/{name}/query", s.handleQuery)
-	s.api("POST", "/datasets/{name}/query/stream", s.handleQueryStream)
-	s.api("POST", "/datasets/{name}/analyze", s.handleAnalyze)
+	s.api("GET", "/datasets", s.instrument("meta", false, s.handleListDatasets))
+	s.api("POST", "/datasets/load", s.instrument("load", false, s.handleLoad))
+	s.api("GET", "/datasets/{name}/series", s.instrument("meta", false, s.handleSeriesNames))
+	s.api("POST", "/datasets/{name}/series", s.instrument("ingest", false, s.handleAddSeries))
+	s.api("GET", "/datasets/{name}/series/{series}", s.instrument("meta", false, s.handleSeriesValues))
+	s.api("GET", "/datasets/{name}/overview", s.instrument("explore", false, s.handleOverview))
+	s.api("GET", "/datasets/{name}/lengths", s.instrument("explore", false, s.handleLengths))
+	s.api("GET", "/datasets/{name}/groups/{length}/{index}", s.instrument("explore", false, s.handleGroupMembers))
+	// The query-class endpoints carry the heavy walks: they are the ones
+	// rate limiting and admission control defend.
+	s.api("POST", "/datasets/{name}/query", s.instrument("query", true, s.handleQuery))
+	s.api("POST", "/datasets/{name}/query/stream", s.instrument("query_stream", true, s.handleQueryStream))
+	s.api("POST", "/datasets/{name}/analyze", s.instrument("analyze", true, s.handleAnalyze))
 	s.api("GET", "/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.api("POST", "/datasets/{name}/query/similarity", s.handleSimilarity)
-	s.api("POST", "/datasets/{name}/query/range", s.handleRange)
-	s.api("POST", "/datasets/{name}/query/seasonal", s.handleSeasonal)
-	s.api("GET", "/datasets/{name}/thresholds", s.handleThresholds)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.api("POST", "/datasets/{name}/query/similarity", s.instrument("legacy_query", true, s.handleSimilarity))
+	s.api("POST", "/datasets/{name}/query/range", s.instrument("legacy_query", true, s.handleRange))
+	s.api("POST", "/datasets/{name}/query/seasonal", s.instrument("legacy_query", true, s.handleSeasonal))
+	s.api("GET", "/datasets/{name}/thresholds", s.instrument("explore", false, s.handleThresholds))
 	s.mux.HandleFunc("GET /viz/{name}/overview.svg", s.handleVizOverview)
 	s.mux.HandleFunc("GET /viz/{name}/match.svg", s.handleVizMatch)
 	s.mux.HandleFunc("GET /viz/{name}/radial.svg", s.handleVizRadial)
@@ -384,6 +447,10 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 // HTTP request cancels the walk. The per-scenario analytics routes
 // (overview, lengths, groups, seasonal, thresholds) are thin aliases over
 // the same execution path, preserving their historical wire formats.
+//
+// With WithCache, successful responses are cached under (dataset, dataset
+// version, canonical analysis) and repeats are answered byte-identically
+// from memory; see handleQuery for the versioning discipline.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
@@ -396,18 +463,45 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.Workers = s.capWorkers(a.Workers)
+	var (
+		key string
+		ver uint64
+	)
+	if s.cache != nil {
+		ver = db.Version()
+		key = cacheKey("a", r.PathValue("name"), ver, servecache.CanonicalAnalysis(a))
+		if body, ok := s.cacheLookup(r, key); ok {
+			writeJSONBody(w, body)
+			return
+		}
+	}
 	res, err := db.Analyze(r.Context(), a)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	body, err := encodeJSONBody(res)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode response: %v", err)
+		return
+	}
+	if s.cache != nil && db.Version() == ver {
+		s.cache.Put(key, body)
+	}
+	writeJSONBody(w, body)
 }
 
 // handleQuery is the unified, versioned query endpoint: the request body
 // is an onex.Query verbatim, the response an onex.Result (matches plus the
 // resolved query and search statistics). Cancelling the HTTP request
 // cancels the search.
+//
+// With WithCache, successful responses are cached under (dataset, dataset
+// version, canonical query). The version is read before the search and
+// re-checked before the store: if an ingest slipped between the two, the
+// freshly computed answer may reflect the newer data and is not stored
+// under the older version's key. (Serving it to this requester is still
+// linearizable — the request overlapped the ingest.)
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
@@ -420,6 +514,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q.Workers = s.capWorkers(q.Workers)
+	var (
+		key string
+		ver uint64
+	)
+	if s.cache != nil {
+		ver = db.Version()
+		key = cacheKey("q", r.PathValue("name"), ver, servecache.CanonicalQuery(q))
+		if body, ok := s.cacheLookup(r, key); ok {
+			writeJSONBody(w, body)
+			return
+		}
+	}
 	res, err := db.Find(r.Context(), q)
 	switch {
 	case errors.Is(err, onex.ErrNoMatch):
@@ -429,7 +535,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, res)
+	body, err := encodeJSONBody(res)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode response: %v", err)
+		return
+	}
+	if s.cache != nil && db.Version() == ver {
+		s.cache.Put(key, body)
+	}
+	writeJSONBody(w, body)
 }
 
 // QueryRequest is a similarity query over a loaded dataset (the legacy

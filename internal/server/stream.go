@@ -44,6 +44,12 @@ func (s *Server) handleQueryStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q.Workers = s.capWorkers(q.Workers)
+	if s.cache != nil {
+		// Streams bypass the result cache (each response is consumed as it
+		// is produced) but are counted as misses, so the hit-rate metric
+		// reflects the whole query-class workload.
+		s.metrics.cacheMisses.Add(1)
+	}
 	x, err := db.Stream(r.Context(), q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)

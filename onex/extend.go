@@ -76,6 +76,9 @@ func (db *DB) AddSeries(name string, values []float64) error {
 		return fmt.Errorf("onex: AddSeries: rebind engine: %w", err)
 	}
 	db.engine = engine
+	// Still under the write lock: any reader that subsequently observes the
+	// new version is guaranteed to see the ingested series too.
+	db.version++
 	return nil
 }
 
@@ -235,5 +238,5 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
 	}
-	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg}, nil
+	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1}, nil
 }

@@ -99,6 +99,11 @@ type DB struct {
 	base   *grouping.Base
 	engine *core.Engine
 	cfg    Config
+	// version counts successful mutations (AddSeries) since Open. It is
+	// bumped under the write lock, so any query that observes version v is
+	// answered from data at least as new as mutation v — the property
+	// result caches key on to never serve a stale answer.
+	version uint64
 }
 
 // Match is one similarity result, reported in original units. It is
@@ -197,7 +202,7 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
 	}
-	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg}, nil
+	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1}, nil
 }
 
 // newEngine binds dataset+base under the DB's resolved configuration.
@@ -251,6 +256,18 @@ func (db *DB) ST() float64 {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.cfg.ST
+}
+
+// Version returns the dataset's monotone mutation counter: 1 at Open,
+// bumped by every successful AddSeries. Because the bump happens under the
+// same write lock that guards the mutation, a query issued after Version
+// returned v is answered from data at least as new as mutation v. Result
+// caches key entries on (dataset, Version, canonical request) so a cached
+// answer computed before an ingest is structurally unreachable after it.
+func (db *DB) Version() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.version
 }
 
 // Stats describes the built base. Untagged for JSON to preserve the

@@ -1,0 +1,84 @@
+package onex
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestVersionSemantics pins the contract result caches key on: Version
+// starts at 1, bumps exactly once per successful AddSeries, and does not
+// move on a failed one.
+func TestVersionSemantics(t *testing.T) {
+	db := openSmall(t)
+	if v := db.Version(); v != 1 {
+		t.Fatalf("fresh DB version = %d, want 1", v)
+	}
+	if err := db.AddSeries("v1", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if v := db.Version(); v != 2 {
+		t.Fatalf("after one ingest version = %d, want 2", v)
+	}
+	// Failed ingests (duplicate name, empty values, missing name) must not
+	// bump: nothing changed, caches stay valid.
+	for _, bad := range []struct {
+		name string
+		vals []float64
+	}{
+		{"v1", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+		{"no-values", nil},
+		{"", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}},
+	} {
+		if err := db.AddSeries(bad.name, bad.vals); err == nil {
+			t.Fatalf("AddSeries(%q, %d values) unexpectedly succeeded", bad.name, len(bad.vals))
+		}
+		if v := db.Version(); v != 2 {
+			t.Fatalf("failed ingest of %q moved version to %d", bad.name, v)
+		}
+	}
+	if err := db.AddSeries("v2", []float64{2, 3, 4, 5, 6, 7, 8, 9, 10, 11}); err != nil {
+		t.Fatal(err)
+	}
+	if v := db.Version(); v != 3 {
+		t.Fatalf("after two ingests version = %d, want 3", v)
+	}
+}
+
+// TestVersionConcurrentMonotone reads the version from many goroutines
+// while ingests run, asserting per-reader monotonicity and the exact final
+// count. Run under -race in CI.
+func TestVersionConcurrentMonotone(t *testing.T) {
+	db := openSmall(t)
+	const ingests = 8
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		vals := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		for i := range ingests {
+			if err := db.AddSeries("c"+string(rune('a'+i)), vals); err != nil {
+				t.Errorf("ingest %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	for range 4 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for range 200 {
+				v := db.Version()
+				if v < last {
+					t.Errorf("version went backwards: %d -> %d", last, v)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+	if v := db.Version(); v != 1+ingests {
+		t.Fatalf("final version = %d, want %d", v, 1+ingests)
+	}
+}
