@@ -29,12 +29,16 @@
 //	onexd -max-inflight 8 -inflight-queue 32  # admission control (503 + Retry-After)
 //
 // -cache-bytes enables the result cache for /query and /analyze, keyed by
-// (dataset, dataset version, canonical request) so ingests invalidate by
-// construction. -rate-limit/-rate-burst and -max-inflight/-inflight-queue
-// shed excess query-class traffic before it reaches the engine. GET
-// /metrics exports request counters, latency histograms, cache
-// hit/miss/eviction counts, the inflight gauge, and rejection counts in
-// Prometheus text format regardless of which knobs are on.
+// (dataset, DB instance ID, dataset version, canonical request) so both
+// ingests and dataset reloads invalidate by construction.
+// -rate-limit/-rate-burst and -max-inflight/-inflight-queue shed excess
+// query-class traffic before it reaches the engine; rate limiting keys
+// clients by remote IP unless -trust-proxy asserts that a fronting proxy
+// sets X-Forwarded-For (never pass it when clients connect directly —
+// the header is client-forgeable). GET /metrics exports request counters,
+// latency histograms, cache hit/miss/eviction counts, the inflight gauge,
+// and rejection counts in Prometheus text format regardless of which
+// knobs are on.
 package main
 
 import (
@@ -62,6 +66,7 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "result-cache byte budget for query/analyze responses (0 = caching off)")
 	rateLimit := flag.Float64("rate-limit", 0, "per-client query-class requests per second (0 = rate limiting off)")
 	rateBurst := flag.Int("rate-burst", 0, "per-client token-bucket burst (default: ceil of -rate-limit)")
+	trustProxy := flag.Bool("trust-proxy", false, "rate-limit on the first X-Forwarded-For hop (only behind a proxy that strips client-supplied values)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query-class execution slots (0 = admission control off)")
 	inflightQueue := flag.Int("inflight-queue", 0, "requests allowed to wait for a slot before 503 (with -max-inflight)")
 	flag.Parse()
@@ -82,6 +87,9 @@ func main() {
 			burst = int(math.Ceil(*rateLimit))
 		}
 		opts = append(opts, server.WithRateLimit(*rateLimit, burst))
+	}
+	if *trustProxy {
+		opts = append(opts, server.WithTrustedProxy())
 	}
 	if *maxInflight > 0 {
 		opts = append(opts, server.WithMaxInflight(*maxInflight, *inflightQueue))

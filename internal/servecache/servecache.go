@@ -2,18 +2,23 @@
 // LRU map from canonicalized request keys to encoded response bodies.
 //
 // The cache itself is deliberately dumb — it knows nothing about queries,
-// datasets, or staleness. Correctness under ingest comes entirely from
-// keying: the HTTP layer prefixes every key with the dataset's monotone
-// mutation version (onex.DB.Version), so an entry computed before an
-// AddSeries is structurally unreachable afterwards. Stale generations are
-// never served; they simply stop being referenced and age out of the LRU
-// under byte pressure. That design keeps the cache free of invalidation
-// races: there is no "flush" step to order against the mutation.
+// datasets, or staleness. Correctness under mutation comes entirely from
+// keying: the HTTP layer prefixes every key with the DB's process-unique
+// instance ID (onex.DB.ID, so replacing a dataset under the same name
+// orphans the old incarnation's entries) and its monotone mutation
+// version (onex.DB.Version, so an entry computed before an AddSeries is
+// structurally unreachable afterwards). Stale generations are never
+// served; they simply stop being referenced and age out of the LRU under
+// byte pressure. That design keeps the cache free of invalidation races:
+// there is no "flush" step to order against the mutation.
 //
 // Keys are produced by CanonicalQuery / CanonicalAnalysis (key.go), which
 // map semantically equal requests — field order, whitespace, resolvable
-// defaults, irrelevant knobs like Workers — onto one deterministic string
-// while keeping semantically distinct requests on distinct strings.
+// defaults — onto one deterministic string while keeping requests that
+// can produce different response bytes on distinct strings. Workers is
+// part of the key: it is echoed in the response's resolved request, so
+// two values below the server's cap are distinct responses (the server
+// caps it before keying, collapsing everything at or above the cap).
 package servecache
 
 import (

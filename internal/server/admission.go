@@ -59,7 +59,8 @@ func (g *gate) release() { <-g.slots }
 
 // rateLimiter is a per-client token bucket: each client accrues rate
 // tokens per second up to burst, and every admitted request spends one.
-// Clients are keyed by clientKey (X-Forwarded-For hop or remote IP).
+// Clients are keyed by clientKey (remote IP, or the first X-Forwarded-For
+// hop when the operator opted in via WithTrustedProxy).
 type rateLimiter struct {
 	rate  float64 // tokens per second
 	burst float64
@@ -124,14 +125,19 @@ func (rl *rateLimiter) sweep(now time.Time) {
 	}
 }
 
-// clientKey identifies the client for rate limiting: the first
-// X-Forwarded-For hop when present (set by a fronting proxy — only
-// meaningful when the proxy strips client-supplied values), else the
-// remote IP.
-func clientKey(r *http.Request) string {
-	if xff := r.Header.Get("X-Forwarded-For"); xff != "" {
-		if first, _, found := strings.Cut(xff, ","); found || first != "" {
-			return strings.TrimSpace(first)
+// clientKey identifies the client for rate limiting. By default it is the
+// remote IP: X-Forwarded-For is client-supplied, so honouring it from a
+// directly-connected client would let anyone dodge the limiter (and bloat
+// the bucket map) by rotating header values. Only with trustProxy — the
+// operator's assertion that a fronting proxy sets the header and strips
+// client values — does the first X-Forwarded-For hop take precedence; a
+// blank first hop still falls back to the remote IP so malformed headers
+// cannot funnel unrelated clients into one shared bucket.
+func clientKey(r *http.Request, trustProxy bool) string {
+	if trustProxy {
+		first, _, _ := strings.Cut(r.Header.Get("X-Forwarded-For"), ",")
+		if first = strings.TrimSpace(first); first != "" {
+			return first
 		}
 	}
 	host, _, err := net.SplitHostPort(r.RemoteAddr)
@@ -191,7 +197,7 @@ func (s *Server) instrument(endpoint string, heavy bool, h http.HandlerFunc) htt
 		}()
 		if heavy {
 			if s.limiter != nil {
-				if wait, ok := s.limiter.allow(clientKey(r)); !ok {
+				if wait, ok := s.limiter.allow(clientKey(r, s.trustProxy)); !ok {
 					s.metrics.reject("rate_limit")
 					sw.Header().Set("Retry-After", retryAfterSeconds(wait))
 					writeErr(sw, http.StatusTooManyRequests,

@@ -131,20 +131,34 @@ func TestRateLimiterSweep(t *testing.T) {
 
 func TestClientKey(t *testing.T) {
 	for _, tc := range []struct {
-		remote, xff, want string
+		remote, xff string
+		trustProxy  bool
+		want        string
 	}{
-		{"10.0.0.9:1234", "", "10.0.0.9"},
-		{"10.0.0.9:1234", "203.0.113.7", "203.0.113.7"},
-		{"10.0.0.9:1234", "203.0.113.7, 10.0.0.1", "203.0.113.7"},
-		{"not-host-port", "", "not-host-port"},
+		{"10.0.0.9:1234", "", false, "10.0.0.9"},
+		{"not-host-port", "", false, "not-host-port"},
+		// Untrusted (the default): client-supplied X-Forwarded-For is
+		// ignored — honouring it would let a direct client dodge the
+		// limiter by rotating values.
+		{"10.0.0.9:1234", "203.0.113.7", false, "10.0.0.9"},
+		{"10.0.0.9:1234", "203.0.113.7, 10.0.0.1", false, "10.0.0.9"},
+		// Trusted proxy: the first hop wins.
+		{"10.0.0.9:1234", "203.0.113.7", true, "203.0.113.7"},
+		{"10.0.0.9:1234", "203.0.113.7, 10.0.0.1", true, "203.0.113.7"},
+		{"10.0.0.9:1234", "", true, "10.0.0.9"},
+		// A blank first hop falls back to the remote IP rather than
+		// pooling unrelated clients under the empty-string bucket.
+		{"10.0.0.9:1234", ",1.2.3.4", true, "10.0.0.9"},
+		{"10.0.0.9:1234", "   ", true, "10.0.0.9"},
 	} {
 		r := httptest.NewRequest(http.MethodPost, "/x", nil)
 		r.RemoteAddr = tc.remote
 		if tc.xff != "" {
 			r.Header.Set("X-Forwarded-For", tc.xff)
 		}
-		if got := clientKey(r); got != tc.want {
-			t.Errorf("clientKey(remote=%q, xff=%q) = %q, want %q", tc.remote, tc.xff, got, tc.want)
+		if got := clientKey(r, tc.trustProxy); got != tc.want {
+			t.Errorf("clientKey(remote=%q, xff=%q, trust=%v) = %q, want %q",
+				tc.remote, tc.xff, tc.trustProxy, got, tc.want)
 		}
 	}
 }

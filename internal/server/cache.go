@@ -19,13 +19,18 @@ func encodeJSONBody(v any) ([]byte, error) {
 }
 
 // cacheKey assembles a full cache key: endpoint kind, dataset name, the
-// dataset's mutation version, and the canonicalized request. Versioned
-// keying is the whole invalidation story — an AddSeries bumps the version,
-// making every pre-ingest entry unreachable, so a stale answer can never
-// be served (the orphaned generation ages out of the LRU under byte
-// pressure rather than being flushed).
-func cacheKey(kind, dataset string, version uint64, canonical string) string {
-	return kind + "|" + strconv.Quote(dataset) + "|" + strconv.FormatUint(version, 10) + "|" + canonical
+// DB instance's process-unique ID, its mutation version, and the
+// canonicalized request. Keying is the whole invalidation story — an
+// AddSeries bumps the version, making every pre-ingest entry unreachable,
+// and replacing a dataset under the same name (the load endpoint's AddDB)
+// changes the instance ID, making every entry of the old incarnation
+// unreachable even though the fresh instance's version starts back at 1.
+// A stale answer can thus never be served; orphaned generations age out
+// of the LRU under byte pressure rather than being flushed. The name is
+// redundant next to the unique ID but kept for debuggability.
+func cacheKey(kind, dataset string, id, version uint64, canonical string) string {
+	return kind + "|" + strconv.Quote(dataset) + "|" + strconv.FormatUint(id, 10) +
+		"@" + strconv.FormatUint(version, 10) + "|" + canonical
 }
 
 // noCacheRequest reports whether the client opted out of a cache read for

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strings"
 	"sync"
 	"testing"
 
@@ -184,6 +185,62 @@ func TestCacheInvalidationOnIngest(t *testing.T) {
 	st, again := postBody(t, qURL, query, nil)
 	if st != 200 || !bytes.Equal(after, again) {
 		t.Fatal("post-ingest answer not served from cache on repeat")
+	}
+}
+
+// TestCacheInvalidationOnDatasetReload: replacing a dataset under the same
+// name (what the load endpoint's AddDB does) must orphan every cached
+// entry of the old incarnation, even though the fresh DB's mutation
+// version starts back at 1 — the key carries the instance ID precisely so
+// (name, version) collisions across incarnations cannot serve stale data.
+func TestCacheInvalidationOnDatasetReload(t *testing.T) {
+	s, hts := newServingTestServer(t, WithCache(1<<20))
+	qURL := hts.URL + "/api/v1/datasets/growth/query"
+
+	var sv struct {
+		Values []float64 `json:"values"`
+	}
+	getJSON(t, hts.URL+"/api/v1/datasets/growth/series/MA", &sv)
+	qv, _ := json.Marshal(sv.Values[:8])
+	query := fmt.Sprintf(`{"values":%s,"k":1,"mode":"exact"}`, qv)
+
+	st, before := postBody(t, qURL, query, nil)
+	if st != 200 {
+		t.Fatalf("pre-reload status = %d (%s)", st, before)
+	}
+	st, cached := postBody(t, qURL, query, nil)
+	if st != 200 || !bytes.Equal(before, cached) {
+		t.Fatal("warm-up hit not served")
+	}
+
+	// Replace "growth" with entirely different data. Both incarnations
+	// report Version() == 1, so only the instance ID separates their keys.
+	walks, err := onex.Open(gen.RandomWalks(gen.WalkOptions{Num: 5, Length: 32}),
+		onex.Config{MinLength: 4, MaxLength: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDB("growth", walks)
+
+	st, after := postBody(t, qURL, query, nil)
+	if st != 200 {
+		t.Fatalf("post-reload status = %d (%s)", st, after)
+	}
+	if bytes.Equal(stripWall(before), stripWall(after)) {
+		t.Fatal("post-reload query served the old incarnation's cached answer")
+	}
+	var res onex.Result
+	if err := json.Unmarshal(after, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) == 0 || !strings.HasPrefix(res.Matches[0].Series, "walk-") {
+		t.Fatalf("post-reload best match = %+v, want a series of the reloaded dataset", res.Matches)
+	}
+
+	// The new incarnation's answer is itself cached and hit on repeat.
+	st, again := postBody(t, qURL, query, nil)
+	if st != 200 || !bytes.Equal(after, again) {
+		t.Fatal("post-reload answer not served from cache on repeat")
 	}
 }
 

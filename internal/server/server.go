@@ -77,10 +77,11 @@ type Server struct {
 	// result cache, per-client rate limiting, concurrent-query admission
 	// control, and the /metrics registry. cache, limiter, and gate are nil
 	// when the corresponding option is off; metrics is always live.
-	cache   *servecache.Cache
-	limiter *rateLimiter
-	gate    *gate
-	metrics *metrics
+	cache      *servecache.Cache
+	limiter    *rateLimiter
+	gate       *gate
+	metrics    *metrics
+	trustProxy bool // rate-limit on X-Forwarded-For (WithTrustedProxy)
 }
 
 // Option customizes a Server at construction.
@@ -121,9 +122,11 @@ func (s *Server) capWorkers(w int) int {
 
 // WithCache enables the versioned result cache for the unified query and
 // analyze endpoints, bounded to maxBytes of encoded responses. Entries are
-// keyed by (dataset, dataset version, canonicalized request), so an ingest
-// — which bumps the dataset version — makes every earlier entry
-// unreachable: a stale answer is never served, with no flush to race
+// keyed by (dataset, DB instance ID, dataset version, canonicalized
+// request), so an ingest — which bumps the dataset version — makes every
+// earlier entry unreachable, and reloading a dataset under the same name —
+// which produces a fresh instance ID — orphans the old incarnation's
+// entries wholesale: a stale answer is never served, with no flush to race
 // against. Streaming responses are never cached (each is consumed once)
 // but count as cache misses in /metrics. maxBytes <= 0 leaves caching off.
 func WithCache(maxBytes int64) Option {
@@ -138,15 +141,26 @@ func WithCache(maxBytes int64) Option {
 // endpoints (query, query/stream, analyze, and the legacy query aliases):
 // each client accrues rps tokens per second up to burst, and a request
 // with no token available is rejected with 429 and a Retry-After header.
-// Clients are keyed by the first X-Forwarded-For hop when present (trust
-// it only behind a proxy that strips client-supplied values), else the
-// remote IP. rps <= 0 leaves rate limiting off; burst < 1 is raised to 1.
+// Clients are keyed by their remote IP; behind a reverse proxy (where
+// every connection shares the proxy's IP) add WithTrustedProxy to key on
+// the forwarded client address instead. rps <= 0 leaves rate limiting
+// off; burst < 1 is raised to 1.
 func WithRateLimit(rps float64, burst int) Option {
 	return func(s *Server) {
 		if rps > 0 {
 			s.limiter = newRateLimiter(rps, burst)
 		}
 	}
+}
+
+// WithTrustedProxy keys rate limiting on the first X-Forwarded-For hop
+// instead of the remote IP. Enable it only when the server sits behind a
+// proxy that overwrites (not appends to) client-supplied X-Forwarded-For
+// headers: the header is otherwise attacker-controlled, and trusting it
+// from directly-connected clients lets anyone bypass the limiter by
+// rotating values. The default is to ignore the header entirely.
+func WithTrustedProxy() Option {
+	return func(s *Server) { s.trustProxy = true }
 }
 
 // WithMaxInflight bounds concurrent query-class execution to n slots with
@@ -448,9 +462,10 @@ func (s *Server) handleOverview(w http.ResponseWriter, r *http.Request) {
 // (overview, lengths, groups, seasonal, thresholds) are thin aliases over
 // the same execution path, preserving their historical wire formats.
 //
-// With WithCache, successful responses are cached under (dataset, dataset
-// version, canonical analysis) and repeats are answered byte-identically
-// from memory; see handleQuery for the versioning discipline.
+// With WithCache, successful responses are cached under (dataset, DB
+// instance ID, dataset version, canonical analysis) and repeats are
+// answered byte-identically from memory; see handleQuery for the
+// versioning discipline.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
@@ -469,7 +484,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	)
 	if s.cache != nil {
 		ver = db.Version()
-		key = cacheKey("a", r.PathValue("name"), ver, servecache.CanonicalAnalysis(a))
+		key = cacheKey("a", r.PathValue("name"), db.ID(), ver, servecache.CanonicalAnalysis(a))
 		if body, ok := s.cacheLookup(r, key); ok {
 			writeJSONBody(w, body)
 			return
@@ -496,12 +511,15 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // resolved query and search statistics). Cancelling the HTTP request
 // cancels the search.
 //
-// With WithCache, successful responses are cached under (dataset, dataset
-// version, canonical query). The version is read before the search and
-// re-checked before the store: if an ingest slipped between the two, the
-// freshly computed answer may reflect the newer data and is not stored
-// under the older version's key. (Serving it to this requester is still
-// linearizable — the request overlapped the ingest.)
+// With WithCache, successful responses are cached under (dataset, DB
+// instance ID, dataset version, canonical query). The version is read
+// before the search and re-checked before the store: if an ingest slipped
+// between the two, the freshly computed answer may reflect the newer data
+// and is not stored under the older version's key. (Serving it to this
+// requester is still linearizable — the request overlapped the ingest.)
+// The instance ID ties the entry to the exact *DB that computed it, so a
+// concurrent dataset replacement under the same name cannot cross-wire
+// answers between incarnations.
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
@@ -520,7 +538,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	)
 	if s.cache != nil {
 		ver = db.Version()
-		key = cacheKey("q", r.PathValue("name"), ver, servecache.CanonicalQuery(q))
+		key = cacheKey("q", r.PathValue("name"), db.ID(), ver, servecache.CanonicalQuery(q))
 		if body, ok := s.cacheLookup(r, key); ok {
 			writeJSONBody(w, body)
 			return

@@ -53,6 +53,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/grouping"
@@ -104,7 +105,13 @@ type DB struct {
 	// answered from data at least as new as mutation v — the property
 	// result caches key on to never serve a stale answer.
 	version uint64
+	// id is the process-unique instance identifier assigned at Open,
+	// immutable thereafter. See ID.
+	id uint64
 }
+
+// lastDBID issues process-unique DB identifiers; see DB.id and ID.
+var lastDBID atomic.Uint64
 
 // Match is one similarity result, reported in original units. It is
 // deliberately untagged for JSON: the legacy HTTP routes have always
@@ -202,7 +209,7 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
 	}
-	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1}, nil
+	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1)}, nil
 }
 
 // newEngine binds dataset+base under the DB's resolved configuration.
@@ -269,6 +276,14 @@ func (db *DB) Version() uint64 {
 	defer db.mu.RUnlock()
 	return db.version
 }
+
+// ID returns this DB instance's process-unique identifier, assigned at
+// Open and immutable thereafter. Version distinguishes mutations of one
+// instance; ID distinguishes instances. A result cache must key on both:
+// keying on (name, Version) alone would let entries survive a dataset
+// being *replaced* under the same name, since a fresh Open starts its
+// version back at 1.
+func (db *DB) ID() uint64 { return db.id }
 
 // Stats describes the built base. Untagged for JSON to preserve the
 // legacy HTTP wire format.

@@ -44,6 +44,29 @@ func TestVersionSemantics(t *testing.T) {
 	}
 }
 
+// TestIDUniquePerInstance pins the other half of the cache-key contract:
+// every Open yields a distinct ID, it never changes across mutations, and
+// two instances at the same Version are still distinguishable — that is
+// exactly what keeps a cache from serving one incarnation's answers for
+// its same-named replacement.
+func TestIDUniquePerInstance(t *testing.T) {
+	a := openSmall(t)
+	b := openSmall(t)
+	if a.ID() == b.ID() {
+		t.Fatalf("two Opens share ID %d", a.ID())
+	}
+	if a.Version() != b.Version() {
+		t.Fatalf("fresh versions differ: %d vs %d", a.Version(), b.Version())
+	}
+	id := a.ID()
+	if err := a.AddSeries("idtest", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if a.ID() != id {
+		t.Fatalf("ID changed across AddSeries: %d -> %d", id, a.ID())
+	}
+}
+
 // TestVersionConcurrentMonotone reads the version from many goroutines
 // while ingests run, asserting per-reader monotonicity and the exact final
 // count. Run under -race in CI.
