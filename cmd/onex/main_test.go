@@ -313,3 +313,50 @@ func TestFormatValues(t *testing.T) {
 		t.Fatalf("formatValues = %s", got)
 	}
 }
+
+// TestCmdSnapshotCompactFlow drives the persistence lifecycle end to end:
+// snapshot a CSV into a store, query it warm, compact, and check the warm
+// answer matches the cold one exactly.
+func TestCmdSnapshotCompactFlow(t *testing.T) {
+	dir := t.TempDir()
+	data := genGrowth(t, dir)
+	storeDir := filepath.Join(dir, "growth.store")
+
+	out := capture(t, cmdSnapshot, []string{"-data", data, "-minlen", "4", "-maxlen", "9", "-store", storeDir})
+	if !strings.Contains(out, "snapshot written:") || !strings.Contains(out, "warm-open with:") {
+		t.Fatalf("snapshot output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir, "snapshot.onex")); err != nil {
+		t.Fatalf("store not created: %v", err)
+	}
+
+	// Warm query answers identically to the cold one.
+	queryArgs := []string{"-series", "MA", "-start", "0", "-len", "8", "-exclude-source"}
+	cold := capture(t, cmdQuery, append([]string{"-data", data, "-minlen", "4", "-maxlen", "9"}, queryArgs...))
+	warm := capture(t, cmdQuery, append([]string{"-store", storeDir}, queryArgs...))
+	if cold != warm {
+		t.Fatalf("warm query differs from cold:\n%s\nvs\n%s", warm, cold)
+	}
+
+	out = capture(t, cmdCompact, []string{"-store", storeDir})
+	if !strings.Contains(out, "compacted") {
+		t.Fatalf("compact output:\n%s", out)
+	}
+
+	// Error paths: missing flags, conflicting open sources, empty store.
+	if err := captureErr(t, cmdSnapshot, []string{"-data", data}); err == nil {
+		t.Fatal("snapshot without -store accepted")
+	}
+	if err := captureErr(t, cmdSnapshot, []string{"-store", storeDir}); err == nil {
+		t.Fatal("snapshot without -data accepted")
+	}
+	if err := captureErr(t, cmdQuery, append([]string{"-store", storeDir, "-data", data}, queryArgs...)); err == nil {
+		t.Fatal("-store combined with -data accepted")
+	}
+	if err := captureErr(t, cmdCompact, []string{"-store", filepath.Join(dir, "empty.store")}); err == nil {
+		t.Fatal("compact on a storeless directory accepted")
+	}
+	if err := captureErr(t, cmdCompact, []string{}); err == nil {
+		t.Fatal("compact without -store accepted")
+	}
+}

@@ -39,6 +39,19 @@
 // latency histograms, cache hit/miss/eviction counts, the inflight gauge,
 // and rejection counts in Prometheus text format regardless of which
 // knobs are on.
+//
+// Persistence is opt-in with -store:
+//
+//	onexd -store /srv/onex/store -preload growth=matters:GrowthRate
+//
+// Every dataset then lives under /srv/onex/store/<name> as a CRC-checksummed
+// snapshot plus a write-ahead log: loads snapshot immediately, ingests are
+// fsynced to the WAL before they are acknowledged, and startup warm-restores
+// everything persisted (preloads whose name was restored skip their rebuild —
+// the store copy, ingests included, wins). Graceful shutdown folds each WAL
+// into a fresh snapshot so the next start replays nothing. GET /healthz
+// gains a per-dataset persistence block and GET /metrics the onex_store_*
+// families when -store is active.
 package main
 
 import (
@@ -50,11 +63,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/store"
 	"repro/onex"
 )
 
@@ -69,9 +84,13 @@ func main() {
 	trustProxy := flag.Bool("trust-proxy", false, "rate-limit on the first X-Forwarded-For hop (only behind a proxy that strips client-supplied values)")
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query-class execution slots (0 = admission control off)")
 	inflightQueue := flag.Int("inflight-queue", 0, "requests allowed to wait for a slot before 503 (with -max-inflight)")
+	storeDir := flag.String("store", "", "persist datasets under this directory (snapshot + WAL per dataset; warm-restores at startup)")
 	flag.Parse()
 
 	var opts []server.Option
+	if *storeDir != "" {
+		opts = append(opts, server.WithStore(*storeDir))
+	}
 	if *dataDir != "" {
 		opts = append(opts, server.WithDataDir(*dataDir))
 	}
@@ -95,13 +114,37 @@ func main() {
 		opts = append(opts, server.WithMaxInflight(*maxInflight, *inflightQueue))
 	}
 	srv := server.New(opts...)
+	warm := make(map[string]bool)
+	if *storeDir != "" {
+		restored, err := srv.RestoreStored()
+		if err != nil {
+			log.Fatalf("onexd: restore from %s: %v", *storeDir, err)
+		}
+		for _, name := range restored {
+			warm[name] = true
+			log.Printf("restored %s from store (warm open, no rebuild)", name)
+		}
+	}
 	if *preload != "" {
 		for _, pair := range strings.Split(*preload, ",") {
 			name, source, ok := strings.Cut(pair, "=")
 			if !ok {
 				log.Fatalf("onexd: bad -preload entry %q (want name=source)", pair)
 			}
-			db, err := openSource(source)
+			if warm[name] {
+				// The store already holds this dataset, ingests included;
+				// rebuilding from the source would discard them.
+				log.Printf("preload %s: already restored from store, skipping rebuild", name)
+				continue
+			}
+			var eng *store.FileStore
+			if *storeDir != "" {
+				var err error
+				if eng, err = store.Open(filepath.Join(*storeDir, name)); err != nil {
+					log.Fatalf("onexd: preload %s: store: %v", name, err)
+				}
+			}
+			db, err := openSource(source, eng)
 			if err != nil {
 				log.Fatalf("onexd: preload %s: %v", name, err)
 			}
@@ -133,11 +176,20 @@ func main() {
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+	if *storeDir != "" {
+		// Graceful shutdown: fold every WAL into a fresh snapshot so the
+		// next start is a pure warm open with nothing to replay.
+		if err := srv.PersistAll(); err != nil {
+			log.Printf("onexd: shutdown snapshot: %v", err)
+		}
+		srv.CloseStores()
+	}
 }
 
 // openSource mirrors the server's load endpoint for startup preloads,
-// keeping defaults suitable for interactive demo sizes.
-func openSource(source string) (*onex.DB, error) {
+// keeping defaults suitable for interactive demo sizes. A non-nil engine
+// makes the dataset durable (Open writes the initial snapshot).
+func openSource(source string, eng *store.FileStore) (*onex.DB, error) {
 	ds, err := server.DatasetForSource(source)
 	if err != nil {
 		return nil, err
@@ -146,8 +198,15 @@ func openSource(source string) (*onex.DB, error) {
 	if maxLen > 48 {
 		maxLen = 48 // keep preload preprocessing interactive
 	}
-	db, err := onex.Open(ds, onex.Config{MaxLength: maxLen})
+	cfg := onex.Config{MaxLength: maxLen}
+	if eng != nil {
+		cfg.Store = eng
+	}
+	db, err := onex.Open(ds, cfg)
 	if err != nil {
+		if eng != nil {
+			eng.Close()
+		}
 		return nil, fmt.Errorf("preprocess: %w", err)
 	}
 	return db, nil

@@ -1,0 +1,83 @@
+// Package fsutil holds small filesystem helpers shared by the persistence
+// layers (the grouping base writer and the internal/store engine): atomic
+// file replacement and directory syncing.
+package fsutil
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+)
+
+// TempPattern returns the os.CreateTemp pattern used for in-progress writes
+// of the named destination file. Crash-recovery scans match leftovers with
+// IsTempFor.
+func TempPattern(base string) string { return base + ".tmp-*" }
+
+// IsTempFor reports whether name is an in-progress temp file for the
+// destination file base (both are bare names, not paths).
+func IsTempFor(name, base string) bool {
+	return strings.HasPrefix(name, base+".tmp-")
+}
+
+// WriteFileAtomic writes a file so that path always holds either the old
+// content or the complete new content, never a torn mix: the payload goes to
+// a temp file in the same directory, is fsynced, and is renamed over path;
+// the directory itself is then synced so the rename survives a crash. On any
+// error the temp file is removed and path is untouched.
+func WriteFileAtomic(path string, write func(io.Writer) error) error {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, TempPattern(base))
+	if err != nil {
+		return fmt.Errorf("fsutil: WriteFileAtomic: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: WriteFileAtomic %s: %w", path, err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: WriteFileAtomic %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("fsutil: WriteFileAtomic %s: %w", path, err)
+	}
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-completed rename or create in it is
+// durable. Filesystems that do not support directory fsync (some network or
+// overlay mounts) make it a no-op rather than an error.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("fsutil: SyncDir: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		// Filesystems without directory fsync (some network and overlay
+		// mounts) report EINVAL or ENOTSUP; the rename itself succeeded and
+		// non-crash correctness does not depend on the sync, so tolerate it.
+		if errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP) {
+			return nil
+		}
+		return fmt.Errorf("fsutil: SyncDir: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,86 @@
+package fsutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicCreatesAndReplaces(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.bin")
+	write := func(content string) error {
+		return WriteFileAtomic(path, func(w io.Writer) error {
+			_, err := io.WriteString(w, content)
+			return err
+		})
+	}
+	if err := write("first"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("content = %q, want %q", got, "first")
+	}
+	if err := write("second, longer than before"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second, longer than before" {
+		t.Fatalf("content after replace = %q", got)
+	}
+}
+
+func TestWriteFileAtomicFailureLeavesOriginal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.bin")
+	if err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, err := io.WriteString(w, "keep me")
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, _ = io.WriteString(w, "partial garbage")
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "keep me" {
+		t.Fatalf("original clobbered: %q", got)
+	}
+	// The failed attempt must not leave its temp file behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "out.bin" {
+			t.Fatalf("leftover file %q after failed write", e.Name())
+		}
+	}
+}
+
+func TestIsTempFor(t *testing.T) {
+	tmp, err := os.CreateTemp(t.TempDir(), TempPattern("snapshot.onex"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp.Close()
+	name := filepath.Base(tmp.Name())
+	if !IsTempFor(name, "snapshot.onex") {
+		t.Fatalf("IsTempFor(%q, snapshot.onex) = false", name)
+	}
+	if IsTempFor("snapshot.onex", "snapshot.onex") {
+		t.Fatal("the real file must not match its own temp pattern")
+	}
+	if IsTempFor(name, "wal.log") {
+		t.Fatalf("IsTempFor(%q, wal.log) = true", name)
+	}
+	if !strings.HasPrefix(name, "snapshot.onex.tmp-") {
+		t.Fatalf("temp name %q does not follow the documented pattern", name)
+	}
+}

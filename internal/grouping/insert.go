@@ -86,6 +86,49 @@ func (b *Base) AddSeries(d *ts.Dataset, si int) error {
 	return nil
 }
 
+// RemoveSeries is AddSeries' inverse for ingest rollback: it removes every
+// member of series si from the base, drops groups that become empty, and
+// refreshes the dataset checksum against d (which must already have the
+// series removed). It is only sound for the most recently added series —
+// member references hold series indices, and removing an interior series
+// would shift every later index. Representatives never move during an
+// insert, so removal restores the exact pre-insert grouping (group order
+// among equal cardinalities may differ; queries are order-independent).
+func (b *Base) RemoveSeries(d *ts.Dataset, si int) {
+	removed := 0
+	for l, lg := range b.ByLength {
+		for _, g := range lg.Groups {
+			kept := g.Members[:0]
+			for _, m := range g.Members {
+				if m.Series == si {
+					removed++
+					continue
+				}
+				kept = append(kept, m)
+			}
+			g.Members = kept
+		}
+		nonEmpty := lg.Groups[:0]
+		for _, g := range lg.Groups {
+			if len(g.Members) > 0 {
+				nonEmpty = append(nonEmpty, g)
+			}
+		}
+		lg.Groups = nonEmpty
+		if len(lg.Groups) == 0 {
+			delete(b.ByLength, l)
+			continue
+		}
+		sort.SliceStable(lg.Groups, func(i, j int) bool {
+			return len(lg.Groups[i].Members) > len(lg.Groups[j].Members)
+		})
+	}
+	delete(b.indexed, si)
+	b.BuildStats.NumWindows -= removed
+	b.BuildStats.NumGroups = b.NumGroups()
+	b.DatasetSum = DatasetChecksum(d)
+}
+
 // reindexSeries rebuilds the indexed-series set from the stored membership
 // (used after deserialization, where only members are persisted). The set
 // always equals "series with at least one member" — Build and AddSeries

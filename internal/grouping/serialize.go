@@ -11,6 +11,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fsutil"
 	"repro/internal/ts"
 )
 
@@ -243,17 +244,15 @@ func Read(r io.Reader) (*Base, error) {
 	return b, nil
 }
 
-// SaveFile writes the base to path.
+// SaveFile writes the base to path atomically: the bytes go to a temp file
+// in the same directory, are fsynced, and are renamed over path, so a crash
+// mid-write can never corrupt an existing base file (the historical
+// in-place os.Create could).
 func (b *Base) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
+	if err := fsutil.WriteFileAtomic(path, b.Write); err != nil {
 		return fmt.Errorf("grouping: SaveFile: %w", err)
 	}
-	werr := b.Write(f)
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
+	return nil
 }
 
 // LoadFile reads a base from path and, when d is non-nil, verifies it was

@@ -176,4 +176,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, n := range names {
 		fmt.Fprintf(w, "onex_dataset_version{dataset=%q} %d\n", n, dbs[n])
 	}
+
+	// Persistence families (onex_store_*) appear only once a store-backed
+	// dataset is registered, keeping scrapes stable for in-memory-only
+	// deployments.
+	s.writeStoreMetrics(w)
 }

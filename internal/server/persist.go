@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/store"
+	"repro/onex"
+)
+
+// WithStore makes every dataset loaded through POST /datasets/load durable:
+// each gets a FileStore under dir/<dataset-name> (an initial snapshot at
+// load, a fsynced WAL record per ingest, automatic compaction). Pair it with
+// Server.RestoreStored at startup to warm-open everything persisted earlier,
+// and Server.PersistAll at shutdown to fold the WALs into fresh snapshots.
+//
+// Dataset names double as directory names under dir, so with a store
+// attached names are restricted to a conservative filesystem-safe alphabet;
+// offending load requests are rejected with 400.
+func WithStore(dir string) Option {
+	return func(s *Server) { s.storeDir = dir }
+}
+
+// StoreDir returns the configured store root ("" when persistence is off).
+func (s *Server) StoreDir() string { return s.storeDir }
+
+// safeDatasetName reports whether name can be used as a store directory
+// name: ASCII letters, digits, dot, dash, and underscore, no leading dot
+// (hides the directory and admits "..") and at most 128 bytes. This is a
+// path-traversal defense: dataset names arrive from the network.
+func safeDatasetName(name string) bool {
+	if name == "" || len(name) > 128 || name[0] == '.' {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case 'a' <= c && c <= 'z', 'A' <= c && c <= 'Z', '0' <= c && c <= '9':
+		case c == '.' || c == '-' || c == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// openStoreFor opens the persistence engine for one dataset name. Callers
+// own the returned engine until they hand it to onex (via Config.Store or
+// OpenStore).
+func (s *Server) openStoreFor(name string) (*store.FileStore, error) {
+	return store.Open(filepath.Join(s.storeDir, name))
+}
+
+// RestoreStored warm-opens every dataset persisted under the store root and
+// registers it, returning the restored names. Directories without a
+// snapshot yet (a crash before the initial snapshot completed) are skipped,
+// not errors; a directory that has a snapshot but fails to open aborts the
+// restore so the operator sees the damage instead of silently serving a
+// partial fleet.
+func (s *Server) RestoreStored() ([]string, error) {
+	if s.storeDir == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.storeDir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("restore: %w", err)
+	}
+	var restored []string
+	for _, e := range entries {
+		if !e.IsDir() || !safeDatasetName(e.Name()) {
+			continue
+		}
+		name := e.Name()
+		db, err := onex.OpenStore(filepath.Join(s.storeDir, name), onex.Config{})
+		if err == onex.ErrNoSnapshot {
+			continue
+		}
+		if err != nil {
+			return restored, fmt.Errorf("restore %q: %w", name, err)
+		}
+		s.AddDB(name, db)
+		restored = append(restored, name)
+	}
+	sort.Strings(restored)
+	return restored, nil
+}
+
+// PersistAll snapshots every store-backed dataset (folding its WAL), for
+// graceful shutdown. In-memory datasets are skipped. The first error is
+// returned but does not stop the sweep — every dataset gets its chance.
+func (s *Server) PersistAll() error {
+	s.mu.RLock()
+	dbs := make(map[string]*onex.DB, len(s.dbs))
+	for n, db := range s.dbs {
+		dbs[n] = db
+	}
+	s.mu.RUnlock()
+	var first error
+	for n, db := range dbs {
+		if err := db.Snapshot(); err != nil && err != onex.ErrNoStore {
+			if first == nil {
+				first = fmt.Errorf("persist %q: %w", n, err)
+			}
+		}
+	}
+	return first
+}
+
+// CloseStores releases every dataset's persistence engine (WAL file
+// handles). The datasets keep serving queries from memory.
+func (s *Server) CloseStores() {
+	s.mu.RLock()
+	dbs := make([]*onex.DB, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
+	}
+	s.mu.RUnlock()
+	for _, db := range dbs {
+		_ = db.Close()
+	}
+}
+
+// PersistenceInfo is one dataset's persistence block in the healthz payload.
+type PersistenceInfo struct {
+	// Kind names the engine ("filestore"); datasets without a store are
+	// reported as "memory".
+	Kind string `json:"kind"`
+	// SnapshotAgeSeconds is the age of the newest snapshot (-1 when none
+	// exists yet).
+	SnapshotAgeSeconds float64 `json:"snapshot_age_seconds"`
+	// SnapshotVersion is the mutation version the snapshot holds.
+	SnapshotVersion uint64 `json:"snapshot_version,omitempty"`
+	// WALRecords and WALBytes measure ingests not yet folded into the
+	// snapshot.
+	WALRecords int   `json:"wal_records"`
+	WALBytes   int64 `json:"wal_bytes,omitempty"`
+	// Recovery describes what the last open had to discard ("clean" when
+	// nothing).
+	Recovery string `json:"recovery,omitempty"`
+	// LastError surfaces the most recent background persistence failure.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// persistenceInfo assembles the healthz persistence block: one entry per
+// dataset, store-backed or not.
+func (s *Server) persistenceInfo() map[string]PersistenceInfo {
+	s.mu.RLock()
+	dbs := make(map[string]*onex.DB, len(s.dbs))
+	for n, db := range s.dbs {
+		dbs[n] = db
+	}
+	s.mu.RUnlock()
+	if len(dbs) == 0 {
+		return nil
+	}
+	out := make(map[string]PersistenceInfo, len(dbs))
+	for n, db := range dbs {
+		st, ok := db.StoreStatus()
+		if !ok {
+			out[n] = PersistenceInfo{Kind: "memory", SnapshotAgeSeconds: -1}
+			continue
+		}
+		info := PersistenceInfo{
+			Kind:               st.Kind,
+			SnapshotAgeSeconds: -1,
+			SnapshotVersion:    st.SnapshotVersion,
+			WALRecords:         st.WALRecords,
+			WALBytes:           st.WALBytes,
+			Recovery:           st.Recovery.String(),
+			LastError:          st.LastError,
+		}
+		if st.HasSnapshot && !st.SnapshotTime.IsZero() {
+			info.SnapshotAgeSeconds = time.Since(st.SnapshotTime).Seconds()
+		}
+		out[n] = info
+	}
+	return out
+}
+
+// writeStoreMetrics appends the persistence metric families to a /metrics
+// scrape. To keep the scrape stable for deployments that never enable
+// persistence, the families appear only once at least one store-backed
+// dataset is registered.
+func (s *Server) writeStoreMetrics(w http.ResponseWriter) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type row struct {
+		name string
+		st   store.Status
+	}
+	rows := make([]row, 0, len(names))
+	for _, n := range names {
+		if st, ok := s.dbs[n].StoreStatus(); ok {
+			rows = append(rows, row{n, st})
+		}
+	}
+	s.mu.RUnlock()
+	if len(rows) == 0 {
+		return
+	}
+
+	fmt.Fprintf(w, "# HELP onex_store_wal_appends_total WAL records durably appended since process start, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE onex_store_wal_appends_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "onex_store_wal_appends_total{dataset=%q} %d\n", r.name, r.st.Appends)
+	}
+	fmt.Fprintf(w, "# HELP onex_store_compactions_total Snapshots written (WAL foldings) since process start, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE onex_store_compactions_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "onex_store_compactions_total{dataset=%q} %d\n", r.name, r.st.Compactions)
+	}
+	fmt.Fprintf(w, "# HELP onex_store_wal_pending_records Ingests not yet folded into the snapshot, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE onex_store_wal_pending_records gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "onex_store_wal_pending_records{dataset=%q} %d\n", r.name, r.st.WALRecords)
+	}
+	fmt.Fprintf(w, "# HELP onex_store_wal_bytes Write-ahead-log size in bytes, per dataset.\n")
+	fmt.Fprintf(w, "# TYPE onex_store_wal_bytes gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "onex_store_wal_bytes{dataset=%q} %d\n", r.name, r.st.WALBytes)
+	}
+	fmt.Fprintf(w, "# HELP onex_store_snapshot_age_seconds Age of the current snapshot, per dataset (-1 when none).\n")
+	fmt.Fprintf(w, "# TYPE onex_store_snapshot_age_seconds gauge\n")
+	for _, r := range rows {
+		age := -1.0
+		if r.st.HasSnapshot && !r.st.SnapshotTime.IsZero() {
+			age = time.Since(r.st.SnapshotTime).Seconds()
+		}
+		fmt.Fprintf(w, "onex_store_snapshot_age_seconds{dataset=%q} %g\n", r.name, age)
+	}
+}

@@ -72,6 +72,7 @@ type Server struct {
 	mux        *http.ServeMux
 	dataDir    string // when set, "file:" load sources must resolve inside it
 	maxWorkers int    // per-request cap on Query/Analysis Workers (0 = GOMAXPROCS)
+	storeDir   string // when set, loaded datasets persist under storeDir/<name> (WithStore)
 
 	// Serving tier (see docs/ARCHITECTURE.md, "serving tier"): a versioned
 	// result cache, per-client rate limiting, concurrent-query admission
@@ -192,11 +193,18 @@ func New(opts ...Option) *Server {
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // AddDB registers an already-opened database under a name (used by cmd
-// wiring and tests).
+// wiring and tests). Replacing a registered dataset releases the old
+// incarnation's persistence engine: two live engines on one store directory
+// would mean two WAL writers. The replaced DB itself keeps serving any
+// in-flight queries from memory.
 func (s *Server) AddDB(name string, db *onex.DB) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.dbs[name]
 	s.dbs[name] = db
+	s.mu.Unlock()
+	if old != nil && old != db {
+		_ = old.Close()
+	}
 }
 
 func (s *Server) db(name string) (*onex.DB, bool) {
@@ -296,19 +304,37 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusForbidden, "%v", err)
 		return
 	}
+	if s.storeDir != "" && !safeDatasetName(req.Name) {
+		// The name becomes a directory under the store root; reject anything
+		// outside the safe alphabet before it touches the filesystem.
+		writeErr(w, http.StatusBadRequest, "load: dataset name %q not allowed with persistence enabled (use letters, digits, '.', '-', '_')", req.Name)
+		return
+	}
 	ds, err := DatasetForSource(req.Source)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	db, err := onex.Open(ds, onex.Config{
+	cfg := onex.Config{
 		ST:        req.ST,
 		MinLength: req.MinLength,
 		MaxLength: req.MaxLength,
 		Band:      req.Band,
 		Exact:     req.Exact,
-	})
+	}
+	if s.storeDir != "" {
+		eng, err := s.openStoreFor(req.Name)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "store: %v", err)
+			return
+		}
+		cfg.Store = eng
+	}
+	db, err := onex.Open(ds, cfg)
 	if err != nil {
+		if cfg.Store != nil {
+			cfg.Store.Close()
+		}
 		writeErr(w, http.StatusInternalServerError, "preprocess: %v", err)
 		return
 	}

@@ -91,6 +91,10 @@ type HealthResponse struct {
 	Version   string `json:"version"`
 	GoVersion string `json:"go_version"`
 	Datasets  int    `json:"datasets"`
+	// Persistence reports each dataset's durability state (engine kind,
+	// snapshot age, WAL backlog); see PersistenceInfo. Empty with no
+	// datasets loaded.
+	Persistence map[string]PersistenceInfo `json:"persistence,omitempty"`
 }
 
 // buildVersion resolves the module build version once; it cannot change
@@ -103,17 +107,19 @@ var buildVersion = sync.OnceValue(func() string {
 })
 
 // handleHealthz serves GET /healthz (and /api/v1/healthz): build/version
-// information plus the loaded-dataset count. It takes no locks beyond the
-// dataset map read and runs no queries, so it stays responsive while the
-// server preprocesses a large load.
+// information, the loaded-dataset count, and each dataset's persistence
+// state. It takes no locks beyond the dataset map read and runs no queries
+// (StoreStatus is a counter read plus one stat call), so it stays responsive
+// while the server preprocesses a large load.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.RLock()
 	n := len(s.dbs)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status:    "ok",
-		Version:   buildVersion(),
-		GoVersion: runtime.Version(),
-		Datasets:  n,
+		Status:      "ok",
+		Version:     buildVersion(),
+		GoVersion:   runtime.Version(),
+		Datasets:    n,
+		Persistence: s.persistenceInfo(),
 	})
 }

@@ -1,0 +1,280 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/fsutil"
+)
+
+// File names inside a FileStore directory. The temp files produced by
+// atomic swaps use fsutil.TempPattern on these names; leftovers from a
+// crash mid-swap are removed (and reported) by Open.
+const (
+	snapshotFile = "snapshot.onex"
+	walFile      = "wal.log"
+)
+
+// FileStore is the first Engine implementation: one directory holding a
+// snapshot file and a write-ahead log (formats documented in snapshot.go
+// and wal.go). Appends are fsynced before they return; snapshots are
+// written with an atomic temp+fsync+rename swap and then reset the WAL with
+// the same swap, so a crash at any point leaves a recoverable state:
+// either the old snapshot with the old WAL, or the new snapshot with
+// either an empty WAL or the old one (whose records replay as sequence-
+// skippable no-ops).
+type FileStore struct {
+	dir string
+
+	mu       sync.Mutex
+	wal      *os.File // open for append; nil after Close
+	walBytes int64
+	walRecs  int
+	closed   bool
+
+	appends     uint64
+	compactions uint64
+	snapVersion uint64
+	snapTime    time.Time
+	recovery    RecoveryReport
+}
+
+// Open creates or opens a FileStore directory. It cleans up (and records in
+// the recovery report surfaced by Status and Load) any leftover temp files
+// from an interrupted swap, and opens the WAL for appending, creating it
+// with a fresh magic when absent.
+func Open(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: Open: %w", err)
+	}
+	fs := &FileStore{dir: dir}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: Open: %w", err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if fsutil.IsTempFor(name, snapshotFile) || fsutil.IsTempFor(name, walFile) {
+			if err := os.Remove(filepath.Join(dir, name)); err == nil {
+				fs.recovery.TempFilesRemoved = append(fs.recovery.TempFilesRemoved, name)
+			}
+		}
+	}
+
+	if err := fs.openWAL(); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// openWAL opens (creating if needed) the append handle and measures the
+// current log. Callers hold fs.mu or have exclusive access.
+func (fs *FileStore) openWAL() error {
+	path := filepath.Join(fs.dir, walFile)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: wal: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("store: wal: %w", err)
+	}
+	if info.Size() == 0 {
+		if _, err := f.WriteString(walMagic); err != nil {
+			f.Close()
+			return fmt.Errorf("store: wal: write magic: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("store: wal: %w", err)
+		}
+		fs.walBytes = int64(len(walMagic))
+	} else {
+		fs.walBytes = info.Size()
+		if _, err := f.Seek(0, io.SeekEnd); err != nil {
+			f.Close()
+			return fmt.Errorf("store: wal: %w", err)
+		}
+	}
+	fs.wal = f
+	return nil
+}
+
+// Kind implements Engine.
+func (fs *FileStore) Kind() string { return "filestore" }
+
+// Dir returns the store directory.
+func (fs *FileStore) Dir() string { return fs.dir }
+
+// Load implements Engine: decode the snapshot (when present), decode the
+// WAL's longest valid prefix, truncate any damaged tail so subsequent
+// appends extend the valid prefix rather than an unreadable one, and report
+// everything that was discarded.
+func (fs *FileStore) Load() (*LoadResult, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, ErrClosed
+	}
+	res := &LoadResult{Recovery: fs.recovery}
+
+	snapPath := filepath.Join(fs.dir, snapshotFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		st, err := DecodeSnapshot(data)
+		if err != nil {
+			// A damaged snapshot is unrecoverable by design: it is the one
+			// full copy of the grouped index. Fail loudly rather than
+			// rebuilding silently over it.
+			return nil, fmt.Errorf("store: Load: %w", err)
+		}
+		res.State = st
+		fs.snapVersion = st.Version
+		fs.snapTime = st.CreatedAt
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("store: Load: %w", err)
+	}
+
+	walPath := filepath.Join(fs.dir, walFile)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		return nil, fmt.Errorf("store: Load: %w", err)
+	}
+	records, report, err := DecodeWAL(data)
+	if err != nil {
+		return nil, fmt.Errorf("store: Load: %w", err)
+	}
+	if report.DiscardedBytes > 0 {
+		res.Recovery.DiscardedBytes = report.DiscardedBytes
+		res.Recovery.DiscardedReason = report.DiscardedReason
+		// Cut the damaged tail so the next append extends the valid prefix.
+		keep := int64(len(data)) - report.DiscardedBytes
+		if err := fs.wal.Truncate(keep); err != nil {
+			return nil, fmt.Errorf("store: Load: truncate damaged tail: %w", err)
+		}
+		if _, err := fs.wal.Seek(keep, io.SeekStart); err != nil {
+			return nil, fmt.Errorf("store: Load: %w", err)
+		}
+		if err := fs.wal.Sync(); err != nil {
+			return nil, fmt.Errorf("store: Load: %w", err)
+		}
+		fs.walBytes = keep
+	}
+	res.Records = records
+	fs.walRecs = len(records)
+	fs.recovery = res.Recovery
+	return res, nil
+}
+
+// Snapshot implements Engine: encode the state, swap it in atomically, then
+// reset the WAL. The snapshot rename is the commit point — if the process
+// dies before the WAL reset, every WAL record now has Seq <= the snapshot's
+// Version and replay skips it.
+func (fs *FileStore) Snapshot(st *State) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	stamped := *st
+	stamped.CreatedAt = time.Now()
+	data, err := EncodeSnapshot(&stamped)
+	if err != nil {
+		return err
+	}
+	snapPath := filepath.Join(fs.dir, snapshotFile)
+	if err := fsutil.WriteFileAtomic(snapPath, func(w io.Writer) error {
+		_, err := w.Write(data)
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: Snapshot: %w", err)
+	}
+
+	// Reset the WAL with the same atomic swap: a crash between the two
+	// renames leaves the old WAL in place, which is correct (sequence-
+	// skippable), just not yet compact.
+	walPath := filepath.Join(fs.dir, walFile)
+	if err := fsutil.WriteFileAtomic(walPath, func(w io.Writer) error {
+		_, err := io.WriteString(w, walMagic)
+		return err
+	}); err != nil {
+		return fmt.Errorf("store: Snapshot: reset wal: %w", err)
+	}
+	// The append handle still points at the renamed-away file; reopen.
+	if fs.wal != nil {
+		fs.wal.Close()
+		fs.wal = nil
+	}
+	if err := fs.openWAL(); err != nil {
+		return fmt.Errorf("store: Snapshot: %w", err)
+	}
+	fs.walRecs = 0
+	fs.snapVersion = stamped.Version
+	fs.snapTime = stamped.CreatedAt
+	fs.compactions++
+	return nil
+}
+
+// Append implements Engine: frame, write, and fsync one record. The record
+// is durable when Append returns nil.
+func (fs *FileStore) Append(rec Record) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	buf := encodeWALRecord(rec)
+	if _, err := fs.wal.Write(buf); err != nil {
+		return fmt.Errorf("store: Append: %w", err)
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("store: Append: %w", err)
+	}
+	fs.walBytes += int64(len(buf))
+	fs.walRecs++
+	fs.appends++
+	return nil
+}
+
+// Status implements Engine.
+func (fs *FileStore) Status() Status {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	st := Status{
+		Kind:            "filestore",
+		Path:            fs.dir,
+		SnapshotVersion: fs.snapVersion,
+		SnapshotTime:    fs.snapTime,
+		WALRecords:      fs.walRecs,
+		WALBytes:        fs.walBytes,
+		Appends:         fs.appends,
+		Compactions:     fs.compactions,
+		Recovery:        fs.recovery,
+	}
+	if info, err := os.Stat(filepath.Join(fs.dir, snapshotFile)); err == nil {
+		st.HasSnapshot = true
+		st.SnapshotBytes = info.Size()
+	}
+	return st
+}
+
+// Close implements Engine.
+func (fs *FileStore) Close() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil
+	}
+	fs.closed = true
+	if fs.wal != nil {
+		err := fs.wal.Close()
+		fs.wal = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// seedStore writes a snapshot at version 1 and n WAL records into a fresh
+// directory, then closes the engine, simulating a process that ran and died.
+func seedStore(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testState(t)
+	st.Version = 1
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		rec := Record{Seq: uint64(2 + i), Name: "ingest-" + string(rune('a'+i)), Values: []float64{1, 2, 3, float64(i)}}
+		if err := fs.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestRecoveryTruncatedWALRecord simulates a crash mid-append: the last
+// record is torn. Recovery must keep the full valid prefix, report — not
+// silently drop — the tail, and leave the log appendable.
+func TestRecoveryTruncatedWALRecord(t *testing.T) {
+	dir := seedStore(t, 3)
+	var cut int
+	fs := corruptWAL(t, dir, func(data []byte) []byte {
+		cut = 5 // strip the last record's tail, leaving a torn payload
+		return data[:len(data)-cut]
+	})
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 2 {
+		t.Fatalf("kept %d records, want the 2 intact ones", len(res.Records))
+	}
+	if res.Recovery.DiscardedBytes == 0 || !strings.Contains(res.Recovery.DiscardedReason, "torn") {
+		t.Fatalf("tail loss not reported: %+v", res.Recovery)
+	}
+	// Load truncated the damaged tail; a new append must extend the valid
+	// prefix and survive the next recovery.
+	if err := fs.Append(Record{Seq: 4, Name: "after-crash", Values: []float64{9}}); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+	fs2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	res, err = fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 3 || res.Records[2].Name != "after-crash" {
+		t.Fatalf("post-crash append lost: %+v", res.Records)
+	}
+	if !res.Recovery.Empty() {
+		t.Fatalf("second recovery not clean: %s", res.Recovery)
+	}
+}
+
+// TestRecoveryFlippedCRCByte simulates silent media corruption inside a
+// record: its CRC no longer matches, so it and everything after it are
+// discarded with a report.
+func TestRecoveryFlippedCRCByte(t *testing.T) {
+	dir := seedStore(t, 3)
+	var secondRecord int
+	fs := corruptWAL(t, dir, func(data []byte) []byte {
+		// Locate the second record and flip a payload byte.
+		off := len(walMagic)
+		off += 8 + int(u32(data[off:])) // skip record 1
+		secondRecord = off
+		data[off+8+2] ^= 0x01
+		return data
+	})
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 1 {
+		t.Fatalf("kept %d records, want 1 (corruption is in record 2)", len(res.Records))
+	}
+	if !strings.Contains(res.Recovery.DiscardedReason, "CRC mismatch") {
+		t.Fatalf("reason = %q, want a CRC mismatch", res.Recovery.DiscardedReason)
+	}
+	if res.Recovery.DiscardedBytes == 0 || int(res.Recovery.DiscardedBytes) > len(walMagic)+1024*1024 {
+		t.Fatalf("implausible discard count %d", res.Recovery.DiscardedBytes)
+	}
+	_ = secondRecord
+}
+
+// TestRecoveryTornSnapshotTemp simulates a crash mid-snapshot-swap: a
+// partial temp file sits next to the real snapshot. Open must remove it,
+// report it, and load the intact snapshot.
+func TestRecoveryTornSnapshotTemp(t *testing.T) {
+	dir := seedStore(t, 1)
+	torn := filepath.Join(dir, snapshotFile+".tmp-1234567")
+	if err := os.WriteFile(torn, []byte("half-written garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	if _, err := os.Stat(torn); !os.IsNotExist(err) {
+		t.Fatal("torn temp file survived Open")
+	}
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || res.State.Version != 1 || len(res.Records) != 1 {
+		t.Fatalf("intact snapshot/WAL not recovered: state=%v records=%d", res.State, len(res.Records))
+	}
+	if len(res.Recovery.TempFilesRemoved) != 1 {
+		t.Fatalf("temp cleanup not reported: %+v", res.Recovery)
+	}
+}
+
+// TestRecoveryWALGarbageAfterMagic keeps only the magic plus random bytes:
+// everything after the magic is one torn header, and zero records survive —
+// but the snapshot still loads.
+func TestRecoveryWALGarbageAfterMagic(t *testing.T) {
+	dir := seedStore(t, 2)
+	fs := corruptWAL(t, dir, func(data []byte) []byte {
+		return append([]byte(walMagic), 0xDE, 0xAD, 0xBE)
+	})
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || len(res.Records) != 0 {
+		t.Fatalf("state=%v records=%d", res.State, len(res.Records))
+	}
+	if res.Recovery.DiscardedBytes != 3 {
+		t.Fatalf("discarded %d bytes, want 3", res.Recovery.DiscardedBytes)
+	}
+}
+
+// TestRecoveryImplausibleLength guards the allocation limit: a corrupted
+// length prefix claiming a giant record is discarded, not allocated.
+func TestRecoveryImplausibleLength(t *testing.T) {
+	dir := seedStore(t, 1)
+	fs := corruptWAL(t, dir, func(data []byte) []byte {
+		buf := append([]byte(walMagic), 0xFF, 0xFF, 0xFF, 0xFF) // length = MaxUint32
+		return append(buf, 0, 0, 0, 0)
+	})
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 0 || !strings.Contains(res.Recovery.DiscardedReason, "implausible record length") {
+		t.Fatalf("records=%d recovery=%+v", len(res.Records), res.Recovery)
+	}
+}

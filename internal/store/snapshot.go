@@ -1,0 +1,391 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// Snapshot file format, little endian throughout:
+//
+//	magic    [8]byte "ONEXSNP1"
+//	u32      format version (currently 1)
+//	u32      section count n
+//	n x 32B  section table entry:
+//	           u32 id, u32 reserved, u64 offset, u64 length, u32 crc32, u32 reserved
+//	u32      header CRC (IEEE, over magic .. table)
+//	...      sections at their stated offsets, each 8-byte aligned
+//
+// Section offsets are absolute file offsets and every section's float64 runs
+// are 8-byte aligned relative to the file start, so a future engine can mmap
+// the file and point slices straight at the value arrays without a decode
+// pass. Each section carries its own CRC in the table; the BASE section is
+// the grouping serialization verbatim, which adds the inner magic+CRC
+// framing from internal/grouping/serialize.go.
+const (
+	snapMagic         = "ONEXSNP1"
+	snapFormatVersion = 1
+
+	secMeta    = 1
+	secDataset = 2
+	secBase    = 3
+
+	// Decoder sanity limits: a corrupted or adversarial header must not be
+	// able to force implausible allocations (the fuzz targets rely on
+	// these).
+	maxSections   = 64
+	maxStringLen  = 1 << 20
+	maxSeries     = 1 << 24
+	maxValues     = 1 << 28
+	maxMetaFields = 1 << 16
+)
+
+// section is one decoded section-table entry.
+type section struct {
+	id     uint32
+	offset uint64
+	length uint64
+	crc    uint32
+}
+
+// bwriter accumulates a section payload.
+type bwriter struct{ buf []byte }
+
+func (w *bwriter) u8(v byte) { w.buf = append(w.buf, v) }
+func (w *bwriter) u32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+func (w *bwriter) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+func (w *bwriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *bwriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *bwriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// pad8 pads to an 8-byte boundary (sections are placed at 8-aligned file
+// offsets, so in-buffer alignment equals file alignment).
+func (w *bwriter) pad8() {
+	for len(w.buf)%8 != 0 {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// breader decodes a section payload with sticky errors and sanity limits.
+type breader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *breader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (r *breader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.fail("store: snapshot: truncated section (need %d bytes at offset %d of %d)", n, r.off, len(r.buf))
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *breader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *breader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (r *breader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (r *breader) i64() int64   { return int64(r.u64()) }
+func (r *breader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *breader) str() string {
+	n := r.u32()
+	if r.err != nil {
+		return ""
+	}
+	if n > maxStringLen {
+		r.fail("store: snapshot: string length %d exceeds limit %d", n, maxStringLen)
+		return ""
+	}
+	b := r.take(int(n))
+	return string(b)
+}
+
+func (r *breader) pad8() {
+	if rem := r.off % 8; rem != 0 {
+		r.take(8 - rem)
+	}
+}
+
+// EncodeSnapshot serializes a State into the snapshot file format.
+func EncodeSnapshot(st *State) ([]byte, error) {
+	if st == nil || st.Dataset == nil || st.Base == nil {
+		return nil, fmt.Errorf("store: EncodeSnapshot: nil state, dataset, or base")
+	}
+
+	var meta bwriter
+	meta.u64(st.Version)
+	meta.i64(st.CreatedAt.UnixNano())
+	meta.i64(int64(st.Band))
+	meta.u8(b2u8(st.Exact))
+	meta.u8(b2u8(st.KeepRaw))
+	meta.u8(byte(st.Norm.Kind))
+	meta.f64(st.Norm.Min)
+	meta.f64(st.Norm.Max)
+
+	var data bwriter
+	data.str(st.Dataset.Name)
+	data.u32(uint32(st.Dataset.Len()))
+	for _, s := range st.Dataset.Series {
+		data.str(s.Name)
+		keys := make([]string, 0, len(s.Meta))
+		for k := range s.Meta {
+			keys = append(keys, k)
+		}
+		// Deterministic meta order keeps snapshots byte-reproducible.
+		sort.Strings(keys)
+		data.u32(uint32(len(keys)))
+		for _, k := range keys {
+			data.str(k)
+			data.str(s.Meta[k])
+		}
+		data.u32(uint32(len(s.Values)))
+		data.pad8()
+		for _, v := range s.Values {
+			data.f64(v)
+		}
+	}
+
+	var base bytes.Buffer
+	if err := st.Base.Write(&base); err != nil {
+		return nil, fmt.Errorf("store: EncodeSnapshot: %w", err)
+	}
+
+	sections := []struct {
+		id      uint32
+		payload []byte
+	}{
+		{secMeta, meta.buf},
+		{secDataset, data.buf},
+		{secBase, base.Bytes()},
+	}
+
+	headerSize := len(snapMagic) + 4 + 4 + len(sections)*32 + 4
+	offset := align8(headerSize)
+
+	var hdr bwriter
+	hdr.buf = append(hdr.buf, snapMagic...)
+	hdr.u32(snapFormatVersion)
+	hdr.u32(uint32(len(sections)))
+	for _, s := range sections {
+		hdr.u32(s.id)
+		hdr.u32(0)
+		hdr.u64(uint64(offset))
+		hdr.u64(uint64(len(s.payload)))
+		hdr.u32(crc32.ChecksumIEEE(s.payload))
+		hdr.u32(0)
+		offset = align8(offset + len(s.payload))
+	}
+	hdr.u32(crc32.ChecksumIEEE(hdr.buf))
+
+	out := make([]byte, 0, offset)
+	out = append(out, hdr.buf...)
+	for _, s := range sections {
+		for len(out)%8 != 0 {
+			out = append(out, 0)
+		}
+		out = append(out, s.payload...)
+	}
+	return out, nil
+}
+
+// parseSnapshotHeader validates the magic, format version, header CRC, and
+// section table (bounds and per-section CRCs) and returns the table.
+func parseSnapshotHeader(data []byte) ([]section, error) {
+	fixed := len(snapMagic) + 4 + 4
+	if len(data) < fixed+4 {
+		return nil, fmt.Errorf("store: snapshot: file too short (%d bytes)", len(data))
+	}
+	if string(data[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("store: snapshot: bad magic %q", data[:len(snapMagic)])
+	}
+	version := binary.LittleEndian.Uint32(data[len(snapMagic):])
+	if version != snapFormatVersion {
+		return nil, fmt.Errorf("store: snapshot: unsupported format version %d (want %d)", version, snapFormatVersion)
+	}
+	n := binary.LittleEndian.Uint32(data[len(snapMagic)+4:])
+	if n == 0 || n > maxSections {
+		return nil, fmt.Errorf("store: snapshot: implausible section count %d", n)
+	}
+	headerSize := fixed + int(n)*32 + 4
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("store: snapshot: truncated section table (%d bytes, need %d)", len(data), headerSize)
+	}
+	wantCRC := binary.LittleEndian.Uint32(data[headerSize-4:])
+	if got := crc32.ChecksumIEEE(data[:headerSize-4]); got != wantCRC {
+		return nil, fmt.Errorf("store: snapshot: header CRC mismatch: stored %08x, computed %08x", wantCRC, got)
+	}
+	sections := make([]section, n)
+	for i := range sections {
+		e := data[fixed+i*32:]
+		sections[i] = section{
+			id:     binary.LittleEndian.Uint32(e),
+			offset: binary.LittleEndian.Uint64(e[8:]),
+			length: binary.LittleEndian.Uint64(e[16:]),
+			crc:    binary.LittleEndian.Uint32(e[24:]),
+		}
+		s := sections[i]
+		if s.offset > uint64(len(data)) || s.length > uint64(len(data)) || s.offset+s.length > uint64(len(data)) {
+			return nil, fmt.Errorf("store: snapshot: section %d [%d,+%d) exceeds file size %d", s.id, s.offset, s.length, len(data))
+		}
+		if got := crc32.ChecksumIEEE(data[s.offset : s.offset+s.length]); got != s.crc {
+			return nil, fmt.Errorf("store: snapshot: section %d CRC mismatch: stored %08x, computed %08x", s.id, s.crc, got)
+		}
+	}
+	return sections, nil
+}
+
+// DecodeSnapshot parses and verifies a snapshot file into a State.
+func DecodeSnapshot(data []byte) (*State, error) {
+	sections, err := parseSnapshotHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	payload := func(id uint32) ([]byte, bool) {
+		for _, s := range sections {
+			if s.id == id {
+				return data[s.offset : s.offset+s.length], true
+			}
+		}
+		return nil, false
+	}
+
+	metaBuf, ok := payload(secMeta)
+	if !ok {
+		return nil, fmt.Errorf("store: snapshot: missing META section")
+	}
+	st := &State{}
+	mr := &breader{buf: metaBuf}
+	st.Version = mr.u64()
+	st.CreatedAt = time.Unix(0, mr.i64())
+	st.Band = int(mr.i64())
+	st.Exact = mr.u8() != 0
+	st.KeepRaw = mr.u8() != 0
+	st.Norm.Kind = ts.NormKind(mr.u8())
+	st.Norm.Min = mr.f64()
+	st.Norm.Max = mr.f64()
+	if mr.err != nil {
+		return nil, fmt.Errorf("store: snapshot: META: %w", mr.err)
+	}
+	switch st.Norm.Kind {
+	case ts.NormNone, ts.NormMinMax:
+	default:
+		return nil, fmt.Errorf("store: snapshot: unsupported normalization %v", st.Norm.Kind)
+	}
+
+	dataBuf, ok := payload(secDataset)
+	if !ok {
+		return nil, fmt.Errorf("store: snapshot: missing DATASET section")
+	}
+	dr := &breader{buf: dataBuf}
+	ds := ts.NewDataset(dr.str())
+	numSeries := dr.u32()
+	if dr.err == nil && numSeries > maxSeries {
+		return nil, fmt.Errorf("store: snapshot: implausible series count %d", numSeries)
+	}
+	for i := uint32(0); i < numSeries && dr.err == nil; i++ {
+		name := dr.str()
+		numMeta := dr.u32()
+		if dr.err != nil {
+			break
+		}
+		if numMeta > maxMetaFields {
+			return nil, fmt.Errorf("store: snapshot: implausible meta count %d", numMeta)
+		}
+		var meta map[string]string
+		if numMeta > 0 {
+			meta = make(map[string]string, numMeta)
+		}
+		for j := uint32(0); j < numMeta && dr.err == nil; j++ {
+			k := dr.str()
+			meta[k] = dr.str()
+		}
+		numValues := dr.u32()
+		if dr.err != nil {
+			break
+		}
+		if numValues > maxValues {
+			return nil, fmt.Errorf("store: snapshot: implausible value count %d", numValues)
+		}
+		dr.pad8()
+		values := make([]float64, numValues)
+		for vi := range values {
+			values[vi] = dr.f64()
+		}
+		if dr.err != nil {
+			break
+		}
+		s := &ts.Series{Name: name, Values: values, Meta: meta}
+		if err := ds.Add(s); err != nil {
+			return nil, fmt.Errorf("store: snapshot: DATASET: %w", err)
+		}
+	}
+	if dr.err != nil {
+		return nil, fmt.Errorf("store: snapshot: DATASET: %w", dr.err)
+	}
+	st.Dataset = ds
+
+	baseBuf, ok := payload(secBase)
+	if !ok {
+		return nil, fmt.Errorf("store: snapshot: missing BASE section")
+	}
+	base, err := grouping.Read(bytes.NewReader(baseBuf))
+	if err != nil {
+		return nil, fmt.Errorf("store: snapshot: BASE: %w", err)
+	}
+	st.Base = base
+	return st, nil
+}
+
+func b2u8(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func align8(n int) int { return (n + 7) &^ 7 }

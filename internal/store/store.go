@@ -1,0 +1,173 @@
+// Package store is the pluggable persistence subsystem behind onex.DB: a
+// storage-engine abstraction that turns restarts from full grouping rebuilds
+// into millisecond warm opens.
+//
+// An Engine persists one dataset as two artifacts:
+//
+//   - a snapshot: one compact, versioned, CRC-checksummed file holding the
+//     raw series data, the normalization transform, the resolved engine
+//     configuration, and the grouping index (the ONEX base), laid out behind
+//     a section-table header so a future engine can mmap the value runs
+//     without a decode pass; and
+//   - a write-ahead log: an append-only file of length-prefixed,
+//     CRC-per-record entries, one per successful AddSeries, fsynced before
+//     the ingest is acknowledged, so ingested series survive a crash.
+//
+// Recovery is: load the snapshot, replay the WAL tail whose sequence numbers
+// exceed the snapshot's version, and report — never silently drop — any
+// trailing bytes that fail their CRC or arrive torn. Compaction folds the
+// WAL back into a fresh snapshot (written with an atomic temp+fsync+rename
+// swap) and resets the log.
+//
+// FileStore is the first Engine implementation; the in-memory path (a nil
+// Engine on the DB) remains the default.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// Record is one durable mutation: an AddSeries call in original units.
+// Records carry a contiguous sequence number so replay can tell which ones a
+// snapshot has already folded in (Seq <= snapshot Version).
+type Record struct {
+	// Seq is the dataset's mutation version after applying this record:
+	// the first record appended on top of a version-v snapshot has Seq v+1.
+	Seq uint64
+	// Name and Values are the AddSeries arguments, in original units.
+	Name   string
+	Values []float64
+}
+
+// State is the full persisted state of one database: everything needed to
+// reconstruct an onex.DB bit-exactly without rebuilding the grouping index.
+type State struct {
+	// Dataset holds the series in original units (Norm zero). The engine
+	// view is reconstructed by re-applying Norm, which is deterministic
+	// arithmetic, so the reconstruction is bit-identical to the live DB —
+	// the base's dataset checksum verifies this at open.
+	Dataset *ts.Dataset
+	// Norm is the normalization transform the engine view was produced
+	// with (recorded, not recomputed: ingested values may lie outside the
+	// open-time extrema).
+	Norm ts.NormInfo
+	// Base is the grouping index built over the normalized view.
+	Base *grouping.Base
+	// Version is the dataset's mutation counter at snapshot time.
+	Version uint64
+	// Band, Exact, and KeepRaw complete the resolved configuration (ST and
+	// the length bounds travel inside Base).
+	Band    int
+	Exact   bool
+	KeepRaw bool
+	// CreatedAt is stamped by the engine when the snapshot is written.
+	CreatedAt time.Time
+}
+
+// RecoveryReport describes what recovery had to discard or clean up. A zero
+// report means the persisted state was pristine.
+type RecoveryReport struct {
+	// DiscardedBytes counts WAL bytes dropped after the longest valid
+	// record prefix (a torn tail or a corrupted record and everything
+	// after it).
+	DiscardedBytes int64
+	// DiscardedReason says why the tail was cut (short record, CRC
+	// mismatch, implausible length, bad sequence).
+	DiscardedReason string
+	// TempFilesRemoved lists leftover in-progress files (torn snapshot or
+	// WAL swaps from a crash mid-write) that were deleted.
+	TempFilesRemoved []string
+}
+
+// Empty reports whether recovery found nothing to complain about.
+func (r RecoveryReport) Empty() bool {
+	return r.DiscardedBytes == 0 && len(r.TempFilesRemoved) == 0 && r.DiscardedReason == ""
+}
+
+// String renders the report for logs and health endpoints.
+func (r RecoveryReport) String() string {
+	if r.Empty() {
+		return "clean"
+	}
+	s := ""
+	if r.DiscardedBytes > 0 || r.DiscardedReason != "" {
+		s = fmt.Sprintf("discarded %d WAL byte(s): %s", r.DiscardedBytes, r.DiscardedReason)
+	}
+	if n := len(r.TempFilesRemoved); n > 0 {
+		if s != "" {
+			s += "; "
+		}
+		s += fmt.Sprintf("removed %d leftover temp file(s)", n)
+	}
+	return s
+}
+
+// LoadResult is what Engine.Load recovers.
+type LoadResult struct {
+	// State is the decoded snapshot, or nil when the engine holds none.
+	State *State
+	// Records is the WAL tail in append order; the caller skips records
+	// with Seq <= State.Version (already folded by a compaction).
+	Records []Record
+	// Recovery describes anything discarded or cleaned up on the way.
+	Recovery RecoveryReport
+}
+
+// Status is a point-in-time view of an engine's persistence state, surfaced
+// by /healthz and /metrics.
+type Status struct {
+	// Kind names the engine implementation ("filestore").
+	Kind string
+	// Path locates the persisted state (the directory for a FileStore).
+	Path string
+	// HasSnapshot reports whether a snapshot exists.
+	HasSnapshot bool
+	// SnapshotTime is the CreatedAt of the current snapshot.
+	SnapshotTime time.Time
+	// SnapshotBytes is the size of the snapshot file.
+	SnapshotBytes int64
+	// SnapshotVersion is the mutation version the snapshot holds.
+	SnapshotVersion uint64
+	// WALRecords and WALBytes measure the log pending compaction.
+	WALRecords int
+	WALBytes   int64
+	// Appends and Compactions count engine operations since process start.
+	Appends     uint64
+	Compactions uint64
+	// Recovery is what the engine's Load had to discard, if anything.
+	Recovery RecoveryReport
+	// LastError carries the owning DB's most recent background persistence
+	// failure (a failed auto-compaction, say) for health endpoints; the
+	// engine itself never sets it.
+	LastError string
+}
+
+// Engine is the pluggable persistence contract. Implementations must make
+// Append durable (fsynced) before returning, and must make Snapshot atomic:
+// a crash at any point leaves either the previous snapshot+WAL or the new
+// snapshot with an empty (or superseded, sequence-skippable) WAL. Engines
+// are safe for concurrent use, though onex.DB already serializes mutations
+// behind its write lock.
+type Engine interface {
+	// Kind names the implementation for health and metrics endpoints.
+	Kind() string
+	// Load recovers the persisted state: snapshot plus replayable WAL tail.
+	// A missing snapshot is not an error (LoadResult.State is nil).
+	Load() (*LoadResult, error)
+	// Snapshot atomically persists the full state and resets the WAL.
+	Snapshot(st *State) error
+	// Append durably logs one mutation before returning.
+	Append(rec Record) error
+	// Status reports the current persistence state.
+	Status() Status
+	// Close releases file handles. The engine is unusable afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by engine operations after Close.
+var ErrClosed = errors.New("store: engine closed")

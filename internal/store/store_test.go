@@ -1,0 +1,324 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/ts"
+)
+
+// testState builds a small but real State: a dataset with meta, a grouping
+// base built over it, and non-default configuration in every field.
+func testState(t testing.TB) *State {
+	t.Helper()
+	d := ts.NewDataset("store-test")
+	d.MustAdd(ts.NewSeries("a", []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.4, 0.3, 0.2, 0.1, 0.2, 0.3, 0.4}))
+	d.MustAdd(ts.NewSeries("b", []float64{0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5}))
+	c := &ts.Series{Name: "c", Values: []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.8},
+		Meta: map[string]string{"unit": "kW", "site": "x1"}}
+	d.MustAdd(c)
+	base, err := grouping.Build(d, grouping.Options{ST: 0.08, MinLength: 4, MaxLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &State{
+		Dataset:   d,
+		Norm:      ts.NormInfo{Kind: ts.NormMinMax, Min: -2.5, Max: 7.25},
+		Base:      base,
+		Version:   42,
+		Band:      3,
+		Exact:     true,
+		KeepRaw:   false,
+		CreatedAt: time.Unix(1700000000, 123456789),
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	st := testState(t)
+	data, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Version != st.Version || back.Band != st.Band || back.Exact != st.Exact || back.KeepRaw != st.KeepRaw {
+		t.Fatalf("config fields mangled: %+v", back)
+	}
+	if back.Norm.Kind != st.Norm.Kind || back.Norm.Min != st.Norm.Min || back.Norm.Max != st.Norm.Max {
+		t.Fatalf("norm = %+v, want %+v", back.Norm, st.Norm)
+	}
+	if !back.CreatedAt.Equal(st.CreatedAt) {
+		t.Fatalf("createdAt = %v, want %v", back.CreatedAt, st.CreatedAt)
+	}
+	if back.Dataset.Name != st.Dataset.Name || back.Dataset.Len() != st.Dataset.Len() {
+		t.Fatalf("dataset shape mangled: %s/%d", back.Dataset.Name, back.Dataset.Len())
+	}
+	for i, s := range st.Dataset.Series {
+		bs := back.Dataset.Series[i]
+		if bs.Name != s.Name {
+			t.Fatalf("series %d name %q != %q", i, bs.Name, s.Name)
+		}
+		for j, v := range s.Values {
+			if bs.Values[j] != v {
+				t.Fatalf("series %s value %d: %v != %v (must be bit-exact)", s.Name, j, bs.Values[j], v)
+			}
+		}
+		for k, v := range s.Meta {
+			if bs.Meta[k] != v {
+				t.Fatalf("series %s meta %q lost", s.Name, k)
+			}
+		}
+	}
+	// The grouping checksum ties the decoded base to the decoded dataset.
+	if back.Base.DatasetSum != st.Base.DatasetSum {
+		t.Fatalf("base checksum %x != %x", back.Base.DatasetSum, st.Base.DatasetSum)
+	}
+	if back.Base.NumGroups() != st.Base.NumGroups() || back.Base.NumSubsequences() != st.Base.NumSubsequences() {
+		t.Fatal("base shape changed through the round trip")
+	}
+}
+
+func TestSnapshotByteReproducible(t *testing.T) {
+	st := testState(t)
+	a, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("two encodes of the same state differ (map iteration leaked into the format?)")
+	}
+}
+
+func TestSnapshotSectionsAligned(t *testing.T) {
+	data, err := EncodeSnapshot(testState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections, err := parseSnapshotHeader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sections) != 3 {
+		t.Fatalf("%d sections, want 3", len(sections))
+	}
+	for _, s := range sections {
+		if s.offset%8 != 0 {
+			t.Fatalf("section %d at offset %d: not 8-aligned (mmap layout contract)", s.id, s.offset)
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Seq: 2, Name: "x", Values: []float64{1, 2, 3}},
+		{Seq: 3, Name: "y", Values: []float64{-0.5}},
+		{Seq: 4, Name: "z", Values: []float64{9, 8, 7, 6}},
+	}
+	buf := []byte(walMagic)
+	for _, r := range recs {
+		buf = append(buf, encodeWALRecord(r)...)
+	}
+	back, report, err := DecodeWAL(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Empty() {
+		t.Fatalf("clean WAL reported recovery: %s", report)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("%d records, want %d", len(back), len(recs))
+	}
+	for i, r := range recs {
+		if back[i].Seq != r.Seq || back[i].Name != r.Name || len(back[i].Values) != len(r.Values) {
+			t.Fatalf("record %d = %+v, want %+v", i, back[i], r)
+		}
+		for j, v := range r.Values {
+			if back[i].Values[j] != v {
+				t.Fatalf("record %d value %d: %v != %v", i, j, back[i].Values[j], v)
+			}
+		}
+	}
+}
+
+func TestFileStoreLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	// Fresh store: no snapshot, no records.
+	res, err := fs.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State != nil || len(res.Records) != 0 {
+		t.Fatalf("fresh store loaded state=%v records=%d", res.State, len(res.Records))
+	}
+
+	st := testState(t)
+	st.Version = 1
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(Record{Seq: 2, Name: "n1", Values: []float64{1, 2, 3, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(Record{Seq: 3, Name: "n2", Values: []float64{5, 6, 7, 8}}); err != nil {
+		t.Fatal(err)
+	}
+
+	status := fs.Status()
+	if !status.HasSnapshot || status.WALRecords != 2 || status.Appends != 2 || status.Compactions != 1 {
+		t.Fatalf("status = %+v", status)
+	}
+	if status.Kind != "filestore" {
+		t.Fatalf("kind = %q", status.Kind)
+	}
+
+	// A second engine on the same directory (a fresh process) recovers both.
+	fs2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	res, err = fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State == nil || res.State.Version != 1 {
+		t.Fatalf("recovered state = %+v", res.State)
+	}
+	if len(res.Records) != 2 || res.Records[0].Name != "n1" || res.Records[1].Seq != 3 {
+		t.Fatalf("recovered records = %+v", res.Records)
+	}
+	if !res.Recovery.Empty() {
+		t.Fatalf("clean shutdown reported recovery: %s", res.Recovery)
+	}
+
+	// Compaction folds the WAL: snapshot at the new version, log empty.
+	st.Version = 3
+	if err := fs2.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	res, err = fs2.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.State.Version != 3 || len(res.Records) != 0 {
+		t.Fatalf("after compaction: version %d, %d records", res.State.Version, len(res.Records))
+	}
+	if s := fs2.Status(); s.WALRecords != 0 || s.WALBytes != int64(len(walMagic)) {
+		t.Fatalf("WAL not reset: %+v", s)
+	}
+}
+
+func TestFileStoreAppendAfterClose(t *testing.T) {
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Append(Record{Seq: 1, Name: "x", Values: []float64{1}}); err != ErrClosed {
+		t.Fatalf("Append after Close = %v, want ErrClosed", err)
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}
+
+func TestDecodeWALRejectsBadMagic(t *testing.T) {
+	if _, _, err := DecodeWAL([]byte("NOTAWAL!")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, _, err := DecodeWAL(nil); err == nil {
+		t.Fatal("empty file accepted as WAL")
+	}
+}
+
+func TestDecodeWALSequenceGap(t *testing.T) {
+	buf := []byte(walMagic)
+	buf = append(buf, encodeWALRecord(Record{Seq: 2, Name: "a", Values: []float64{1}})...)
+	gapAt := len(buf)
+	buf = append(buf, encodeWALRecord(Record{Seq: 5, Name: "b", Values: []float64{2}})...)
+	recs, report, err := DecodeWAL(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Seq != 2 {
+		t.Fatalf("records = %+v, want just seq 2", recs)
+	}
+	if report.DiscardedBytes != int64(len(buf)-gapAt) {
+		t.Fatalf("discarded %d bytes, want %d", report.DiscardedBytes, len(buf)-gapAt)
+	}
+}
+
+// TestSnapshotDamageIsHardError distinguishes the two recovery postures: a
+// WAL tail can be dropped (bounded, reported loss) but snapshot damage must
+// refuse to load — it is the only full copy of the index.
+func TestSnapshotDamageIsHardError(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	fs.Close()
+
+	path := filepath.Join(dir, snapshotFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte in the middle of the payload.
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs2.Close()
+	if _, err := fs2.Load(); err == nil {
+		t.Fatal("corrupted snapshot loaded without error")
+	}
+}
+
+// corruptTail is a helper for the recovery tests: it rewrites the WAL file
+// through fn and reopens the store.
+func corruptWAL(t *testing.T, dir string, fn func([]byte) []byte) *FileStore {
+	t.Helper()
+	path := filepath.Join(dir, walFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, fn(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	return fs
+}
+
+func u32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }

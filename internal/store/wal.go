@@ -1,0 +1,133 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// WAL file format, little endian throughout:
+//
+//	magic   [8]byte "ONEXWAL1"
+//	records, each:
+//	  u32 payload length
+//	  u32 payload CRC (IEEE)
+//	  payload:
+//	    u8  record type (1 = AddSeries)
+//	    u64 seq
+//	    str series name
+//	    u32 value count, then count x f64 values
+//
+// Records are framed independently so recovery can keep the longest valid
+// prefix: decoding stops at the first short, oversized, or CRC-failing
+// record and everything from that offset on is reported as discarded — a
+// torn tail from a crash mid-append loses at most the record being written.
+const (
+	walMagic = "ONEXWAL1"
+
+	recAddSeries = 1
+
+	// maxWALPayload bounds a single record so a corrupted length prefix
+	// cannot force a giant allocation.
+	maxWALPayload = 1 << 30
+)
+
+// encodeWALRecord frames one record (length prefix + CRC + payload).
+func encodeWALRecord(rec Record) []byte {
+	var p bwriter
+	p.u8(recAddSeries)
+	p.u64(rec.Seq)
+	p.str(rec.Name)
+	p.u32(uint32(len(rec.Values)))
+	for _, v := range rec.Values {
+		p.f64(v)
+	}
+	out := make([]byte, 0, 8+len(p.buf))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(p.buf)))
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(p.buf))
+	return append(out, p.buf...)
+}
+
+// decodeWALPayload parses one verified record payload.
+func decodeWALPayload(payload []byte) (Record, error) {
+	r := &breader{buf: payload}
+	typ := r.u8()
+	if r.err == nil && typ != recAddSeries {
+		return Record{}, fmt.Errorf("store: wal: unknown record type %d", typ)
+	}
+	rec := Record{Seq: r.u64(), Name: r.str()}
+	n := r.u32()
+	if r.err != nil {
+		return Record{}, fmt.Errorf("store: wal: %w", r.err)
+	}
+	if rec.Name == "" {
+		return Record{}, fmt.Errorf("store: wal: record with empty series name")
+	}
+	if n > maxValues {
+		return Record{}, fmt.Errorf("store: wal: implausible value count %d", n)
+	}
+	rec.Values = make([]float64, n)
+	for i := range rec.Values {
+		rec.Values[i] = r.f64()
+	}
+	if r.err != nil {
+		return Record{}, fmt.Errorf("store: wal: %w", r.err)
+	}
+	if r.off != len(payload) {
+		return Record{}, fmt.Errorf("store: wal: %d trailing byte(s) in record", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// DecodeWAL parses a WAL file image into its longest valid record prefix.
+// It never returns an error for a damaged tail: the records decoded before
+// the damage are returned together with a report of what was discarded and
+// why. Only a missing or wrong magic is a hard error (the file is not a WAL
+// at all — as opposed to a WAL that lost its tail).
+func DecodeWAL(data []byte) ([]Record, RecoveryReport, error) {
+	var report RecoveryReport
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		return nil, report, fmt.Errorf("store: wal: bad magic")
+	}
+	var records []Record
+	off := len(walMagic)
+	discard := func(reason string) ([]Record, RecoveryReport, error) {
+		report.DiscardedBytes = int64(len(data) - off)
+		report.DiscardedReason = fmt.Sprintf("%s at offset %d", reason, off)
+		return records, report, nil
+	}
+	for off < len(data) {
+		if len(data)-off < 8 {
+			return discard("torn record header")
+		}
+		n := binary.LittleEndian.Uint32(data[off:])
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxWALPayload {
+			return discard(fmt.Sprintf("implausible record length %d", n))
+		}
+		if len(data)-off-8 < int(n) {
+			return discard("torn record payload")
+		}
+		payload := data[off+8 : off+8+int(n)]
+		if got := crc32.ChecksumIEEE(payload); got != crc {
+			return discard(fmt.Sprintf("record CRC mismatch (stored %08x, computed %08x)", crc, got))
+		}
+		rec, err := decodeWALPayload(payload)
+		if err != nil {
+			return discard(err.Error())
+		}
+		if want := prevSeq(records) + 1; len(records) > 0 && rec.Seq != want {
+			return discard(fmt.Sprintf("sequence gap (record %d after %d)", rec.Seq, prevSeq(records)))
+		}
+		records = append(records, rec)
+		off += 8 + int(n)
+	}
+	return records, report, nil
+}
+
+func prevSeq(records []Record) uint64 {
+	if len(records) == 0 {
+		return 0
+	}
+	return records[len(records)-1].Seq
+}

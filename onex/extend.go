@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grouping"
+	"repro/internal/store"
 	"repro/internal/ts"
 )
 
@@ -33,6 +34,11 @@ func (db *DB) WithinThreshold(q []float64, maxDist float64, limit int) ([]Match,
 // which keeps all distances consistent. AddSeries is safe to call
 // concurrently with queries: it takes the DB's write lock, so in-flight
 // queries finish first and new ones wait for the insert.
+//
+// With a store attached, the series is logged to the write-ahead log and
+// fsynced before AddSeries returns (and before Version advances): a nil
+// error means the ingest survives a crash. A failed append rolls the
+// in-memory insert back, so memory and disk never disagree about Version.
 func (db *DB) AddSeries(name string, values []float64) error {
 	if name == "" {
 		return errors.New("onex: AddSeries: name required")
@@ -42,11 +48,36 @@ func (db *DB) AddSeries(name string, values []float64) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.storeClosed {
+		return errors.New("onex: AddSeries: store closed (durability released); reopen with OpenStore")
+	}
+	if err := db.applySeriesLocked(name, values); err != nil {
+		return fmt.Errorf("onex: AddSeries: %w", err)
+	}
+	if db.store != nil {
+		rec := store.Record{Seq: db.version + 1, Name: name, Values: values}
+		if err := db.store.Append(rec); err != nil {
+			db.unapplySeriesLocked(name)
+			return fmt.Errorf("onex: AddSeries: wal: %w", err)
+		}
+	}
+	// Still under the write lock: any reader that subsequently observes the
+	// new version is guaranteed to see the ingested series too.
+	db.version++
+	db.maybeCompactLocked()
+	return nil
+}
+
+// applySeriesLocked performs the in-memory half of an ingest: append to both
+// dataset views, index into the base, rebind the engine. On error the DB is
+// unchanged. Callers hold the write lock (or exclusive access, during
+// recovery replay) and are responsible for bumping version afterwards.
+func (db *DB) applySeriesLocked(name string, values []float64) error {
 	if _, dup := db.raw.ByName(name); dup {
-		return fmt.Errorf("onex: AddSeries: series %q already exists", name)
+		return fmt.Errorf("series %q already exists", name)
 	}
 	if err := db.raw.Add(ts.NewSeries(name, values)); err != nil {
-		return fmt.Errorf("onex: AddSeries: %w", err)
+		return err
 	}
 	var normVals []float64
 	if db.cfg.KeepRaw {
@@ -59,7 +90,7 @@ func (db *DB) AddSeries(name string, values []float64) error {
 	if err := db.normed.Add(ns); err != nil {
 		// Roll back the raw append (name index included) to stay consistent.
 		db.raw.Remove(name)
-		return fmt.Errorf("onex: AddSeries: %w", err)
+		return err
 	}
 	if err := db.base.AddSeries(db.normed, db.normed.Len()-1); err != nil {
 		// grouping.AddSeries validates before touching the base, so removing
@@ -67,19 +98,34 @@ func (db *DB) AddSeries(name string, values []float64) error {
 		// pre-call state exactly (no dangling name-index entries).
 		db.raw.Remove(name)
 		db.normed.Remove(name)
-		return fmt.Errorf("onex: AddSeries: %w", err)
+		return err
 	}
 	// The engine binds dataset+base by checksum; rebind after the change
 	// (still under the write lock, so no query observes the stale binding).
 	engine, err := newEngine(db.normed, db.base, db.cfg)
 	if err != nil {
-		return fmt.Errorf("onex: AddSeries: rebind engine: %w", err)
+		db.unapplySeriesLocked(name)
+		return fmt.Errorf("rebind engine: %w", err)
 	}
 	db.engine = engine
-	// Still under the write lock: any reader that subsequently observes the
-	// new version is guaranteed to see the ingested series too.
-	db.version++
 	return nil
+}
+
+// unapplySeriesLocked is applySeriesLocked's inverse, used when the durable
+// append fails after the in-memory insert succeeded. It is only sound for
+// the most recently added series (grouping.RemoveSeries's contract). Callers
+// hold the write lock.
+func (db *DB) unapplySeriesLocked(name string) {
+	si := db.normed.Len() - 1
+	db.raw.Remove(name)
+	db.normed.Remove(name)
+	db.base.RemoveSeries(db.normed, si)
+	// Rebind over the restored state; the pre-insert engine referenced the
+	// same (now restored) dataset and base, so failure here is impossible in
+	// practice — keep the old binding if it somehow happens.
+	if engine, err := newEngine(db.normed, db.base, db.cfg); err == nil {
+		db.engine = engine
+	}
 }
 
 // CommonShape is a shape shared across several series, in original units.
@@ -238,5 +284,14 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: OpenWithBase: %w", err)
 	}
-	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1}, nil
+	db := &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1), store: cfg.Store}
+	if db.store != nil {
+		// Same contract as Open: persist the opening state immediately so a
+		// crash right after still warm-starts. On failure the engine is left
+		// open for the caller to close.
+		if err := db.store.Snapshot(db.stateLocked()); err != nil {
+			return nil, fmt.Errorf("onex: OpenWithBase: initial snapshot: %w", err)
+		}
+	}
+	return db, nil
 }

@@ -57,6 +57,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/grouping"
+	"repro/internal/store"
 	"repro/internal/ts"
 )
 
@@ -88,7 +89,23 @@ type Config struct {
 	Workers int
 	// KeepRaw skips min-max normalization; ST is then in raw units.
 	KeepRaw bool
+	// Store attaches a persistence engine: Open writes an initial snapshot
+	// (overwriting whatever the engine held) and every successful AddSeries
+	// appends a durable write-ahead-log record before Version is bumped, so
+	// ingest survives crashes and OpenStore restarts warm. nil — the
+	// default — keeps the dataset purely in process memory. The DB owns the
+	// engine from Open on; Close releases it.
+	Store store.Engine
+	// CompactBytes is the WAL size that triggers automatic compaction
+	// (folding the log into a fresh snapshot) after an ingest. 0 selects
+	// DefaultCompactBytes; negative disables auto-compaction (explicit
+	// Snapshot calls still compact). Ignored without Store.
+	CompactBytes int64
 }
+
+// DefaultCompactBytes is the WAL size threshold used when Config.
+// CompactBytes is zero.
+const DefaultCompactBytes int64 = 4 << 20
 
 // DB is an opened ONEX database: a normalized dataset plus its base and
 // query engine. DB is safe for concurrent use: queries run concurrently
@@ -108,6 +125,15 @@ type DB struct {
 	// id is the process-unique instance identifier assigned at Open,
 	// immutable thereafter. See ID.
 	id uint64
+	// store is the attached persistence engine (nil = in-memory only); see
+	// Config.Store. storeErr records the last background compaction
+	// failure for StoreStatus (the triggering append itself was durable).
+	store    store.Engine
+	storeErr error
+	// storeClosed is set by Close on a store-backed DB: durability has been
+	// released, so further ingest must refuse rather than silently drop the
+	// crash-safety the caller was promised.
+	storeClosed bool
 }
 
 // lastDBID issues process-unique DB identifiers; see DB.id and ID.
@@ -209,7 +235,17 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	if err != nil {
 		return nil, fmt.Errorf("onex: Open: %w", err)
 	}
-	return &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1)}, nil
+	db := &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1), store: cfg.Store}
+	if db.store != nil {
+		// Persist the freshly built state immediately so a crash right after
+		// Open still warm-starts; this overwrites whatever the engine held.
+		// On failure the engine is left open for the caller to close (the DB
+		// never existed, so it never took ownership).
+		if err := db.store.Snapshot(db.stateLocked()); err != nil {
+			return nil, fmt.Errorf("onex: Open: initial snapshot: %w", err)
+		}
+	}
+	return db, nil
 }
 
 // newEngine binds dataset+base under the DB's resolved configuration.

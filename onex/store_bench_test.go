@@ -1,0 +1,65 @@
+package onex
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/store"
+	"repro/internal/ts"
+)
+
+// benchDataset is the warm-start benchmark workload: 30 CBF series of 96
+// points each gives the grouping build enough subsequences to dominate a
+// cold open, which is exactly the cost the snapshot exists to amortize.
+func benchDataset() *ts.Dataset {
+	return gen.CBF(gen.CBFOptions{PerClass: 10, Length: 96, Seed: 1})
+}
+
+var benchCfg = Config{MinLength: 8, MaxLength: 24}
+
+// BenchmarkOpenSnapshot compares the two ways to reach a queryable DB:
+// "rebuild" pays the full grouping construction; "warm" decodes the
+// snapshot and checksum-verifies it against the rebuilt index. The ratio is
+// the restart-latency win a deployment buys by passing -store. Results are
+// tracked in BENCH_store.json.
+func BenchmarkOpenSnapshot(b *testing.B) {
+	d := benchDataset()
+
+	b.Run("rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Open(d.Clone(), benchCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		eng, err := store.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := Open(d.Clone(), Config{MinLength: benchCfg.MinLength, MaxLength: benchCfg.MaxLength, Store: eng})
+		if err != nil {
+			eng.Close()
+			b.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			warm, err := OpenStore(dir, Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if err := warm.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	})
+}
