@@ -95,6 +95,8 @@ func main() {
 		err = cmdSnapshot(os.Args[2:])
 	case "compact":
 		err = cmdCompact(os.Args[2:])
+	case "replica-status":
+		err = cmdReplicaStatus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 		return
@@ -110,7 +112,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: onex <gen|build|query|range|analyze|seasonal|recommend|overview|viz|snapshot|compact> [flags]
+	fmt.Fprintln(os.Stderr, `usage: onex <gen|build|query|range|analyze|seasonal|recommend|overview|viz|snapshot|compact|replica-status> [flags]
 run "onex <subcommand> -h" for flags`)
 }
 

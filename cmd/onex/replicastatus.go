@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/replica"
+)
+
+// cmdReplicaStatus implements `onex replica-status`: fetch a serving
+// follower's /healthz and render its replication block — per-dataset
+// applied/leader sequence, lag, stream state, and reconnect counters — as
+// a table (or raw JSON with -json). Pointed at a leader it reports that
+// the server is not following anyone.
+func cmdReplicaStatus(args []string) error {
+	fs := flag.NewFlagSet("replica-status", flag.ExitOnError)
+	server := fs.String("server", "http://localhost:8080", "follower base URL")
+	asJSON := fs.Bool("json", false, "print the raw replication JSON instead of a table")
+	_ = fs.Parse(args)
+
+	base := strings.TrimRight(*server, "/")
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("replica-status: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica-status: %s answered %s", base, resp.Status)
+	}
+	var health struct {
+		Leader      string                    `json:"leader"`
+		Replication map[string]replica.Status `json:"replication"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		return fmt.Errorf("replica-status: decode healthz: %w", err)
+	}
+	if health.Leader == "" && len(health.Replication) == 0 {
+		fmt.Fprintf(stdout, "%s is not following a leader (leader or standalone instance)\n", base)
+		return nil
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(health)
+	}
+	fmt.Fprintf(stdout, "follower %s -> leader %s\n", base, health.Leader)
+	names := make([]string, 0, len(health.Replication))
+	for n := range health.Replication {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Fprintf(stdout, "%-20s %-13s %10s %10s %6s %12s %10s %9s\n",
+		"DATASET", "STATE", "APPLIED", "LEADER", "LAG", "LAST-RECORD", "RECONNECTS", "SNAPSHOTS")
+	for _, n := range names {
+		st := health.Replication[n]
+		last := "never"
+		if st.SecondsSinceRecord >= 0 {
+			last = fmt.Sprintf("%.1fs ago", st.SecondsSinceRecord)
+		}
+		fmt.Fprintf(stdout, "%-20s %-13s %10d %10d %6d %12s %10d %9d\n",
+			n, st.State, st.AppliedSeq, st.LeaderSeq, st.LagRecords, last, st.Reconnects, st.SnapshotsShipped)
+		if st.LastError != "" {
+			fmt.Fprintf(stdout, "  last error: %s\n", st.LastError)
+		}
+	}
+	return nil
+}

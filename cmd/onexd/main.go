@@ -43,6 +43,7 @@
 // Persistence is opt-in with -store:
 //
 //	onexd -store /srv/onex/store -preload growth=matters:GrowthRate
+//	onexd -store /srv/onex/store -fsync-every 32
 //
 // Every dataset then lives under /srv/onex/store/<name> as a CRC-checksummed
 // snapshot plus a write-ahead log: loads snapshot immediately, ingests are
@@ -51,11 +52,27 @@
 // the store copy, ingests included, wins). Graceful shutdown folds each WAL
 // into a fresh snapshot so the next start replays nothing. GET /healthz
 // gains a per-dataset persistence block and GET /metrics the onex_store_*
-// families when -store is active.
+// families when -store is active. -fsync-every N turns on WAL group commit:
+// one fsync per N ingests instead of per ingest, trading up to N-1 of the
+// most recently acknowledged ingests on a crash (always a clean suffix) for
+// ingest throughput.
+//
+// Replication turns a second onexd into a serving read replica:
+//
+//	onexd -addr :8081 -follow http://leader:8080
+//
+// The follower enumerates the leader's datasets, ships each one's snapshot,
+// and tails its WAL over /replication/v1, serving every read endpoint from
+// the replicated copies while rejecting writes with 503 plus an
+// X-Onex-Leader header naming the leader. GET /healthz gains a per-dataset
+// replication block (applied/leader seq, lag, reconnects) and GET /metrics
+// the onex_replica_* families. -follow excludes -store and -preload: a
+// replica's state is the leader's, shipped, not built or persisted locally.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -68,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/replica"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/onex"
@@ -85,7 +103,13 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "concurrent query-class execution slots (0 = admission control off)")
 	inflightQueue := flag.Int("inflight-queue", 0, "requests allowed to wait for a slot before 503 (with -max-inflight)")
 	storeDir := flag.String("store", "", "persist datasets under this directory (snapshot + WAL per dataset; warm-restores at startup)")
+	fsyncEvery := flag.Int("fsync-every", 1, "with -store: fsync the WAL once per N ingests (group commit; N>1 risks the last N-1 acked ingests on a crash)")
+	follow := flag.String("follow", "", "run as a serving read replica of the leader at this base URL (excludes -store and -preload)")
 	flag.Parse()
+
+	if *follow != "" && (*storeDir != "" || *preload != "") {
+		log.Fatal("onexd: -follow excludes -store and -preload (a replica's state is shipped from the leader)")
+	}
 
 	var opts []server.Option
 	if *storeDir != "" {
@@ -113,7 +137,51 @@ func main() {
 	if *maxInflight > 0 {
 		opts = append(opts, server.WithMaxInflight(*maxInflight, *inflightQueue))
 	}
-	srv := server.New(opts...)
+	if *fsyncEvery > 1 {
+		opts = append(opts, server.WithFsyncEvery(*fsyncEvery))
+	}
+
+	// Follower mode: enumerate the leader's datasets, then run one
+	// replication loop per dataset. OnDB swaps each freshly bootstrapped
+	// replica into the serving map, so reads always hit a complete DB —
+	// first at initial-snapshot time, again after every compaction fence.
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	var srv *server.Server
+	var followers map[string]*replica.Follower
+	if *follow != "" {
+		names, err := leaderDatasets(*follow)
+		if err != nil {
+			log.Fatalf("onexd: -follow %s: %v", *follow, err)
+		}
+		if len(names) == 0 {
+			log.Printf("onexd: leader %s has no datasets; serving empty (restart the follower after loading the leader)", *follow)
+		}
+		opts = append(opts, server.WithLeader(*follow))
+		followers = make(map[string]*replica.Follower, len(names))
+		for _, name := range names {
+			followers[name] = replica.New(*follow, name, replica.Options{
+				Workers: *maxWorkers,
+				Logf:    log.Printf,
+				OnDB:    func(db *onex.DB) { srv.AddDB(name, db) },
+			})
+		}
+		opts = append(opts, server.WithReplicaStatus(func() map[string]replica.Status {
+			out := make(map[string]replica.Status, len(followers))
+			for n, f := range followers {
+				out[n] = f.Status()
+			}
+			return out
+		}))
+	}
+	srv = server.New(opts...)
+	for name, f := range followers {
+		go func() {
+			if err := f.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("onexd: follower %s stopped: %v", name, err)
+			}
+		}()
+	}
 	warm := make(map[string]bool)
 	if *storeDir != "" {
 		restored, err := srv.RestoreStored()
@@ -144,7 +212,7 @@ func main() {
 					log.Fatalf("onexd: preload %s: store: %v", name, err)
 				}
 			}
-			db, err := openSource(source, eng)
+			db, err := openSource(source, eng, *fsyncEvery)
 			if err != nil {
 				log.Fatalf("onexd: preload %s: %v", name, err)
 			}
@@ -168,9 +236,10 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Print("onexd shutting down")
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		stop() // wind down follower replication loops
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		_ = httpServer.Shutdown(ctx)
+		_ = httpServer.Shutdown(sctx)
 	}()
 	log.Printf("onexd listening on %s", *addr)
 	if err := httpServer.ListenAndServe(); err != nil && err != http.ErrServerClosed {
@@ -186,10 +255,48 @@ func main() {
 	}
 }
 
+// leaderDatasets enumerates the datasets served by the leader, retrying
+// briefly so a follower started alongside its leader (compose files, CI)
+// wins the startup race instead of dying on the first connection refusal.
+func leaderDatasets(base string) ([]string, error) {
+	base = strings.TrimRight(base, "/")
+	var lastErr error
+	for attempt := 0; attempt < 20; attempt++ {
+		if attempt > 0 {
+			time.Sleep(500 * time.Millisecond)
+		}
+		resp, err := http.Get(base + "/api/v1/datasets")
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			lastErr = fmt.Errorf("leader answered %s", resp.Status)
+			continue
+		}
+		var infos []struct {
+			Name string `json:"name"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&infos)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = fmt.Errorf("dataset listing: %w", err)
+			continue
+		}
+		names := make([]string, 0, len(infos))
+		for _, info := range infos {
+			names = append(names, info.Name)
+		}
+		return names, nil
+	}
+	return nil, fmt.Errorf("leader unreachable: %w", lastErr)
+}
+
 // openSource mirrors the server's load endpoint for startup preloads,
 // keeping defaults suitable for interactive demo sizes. A non-nil engine
 // makes the dataset durable (Open writes the initial snapshot).
-func openSource(source string, eng *store.FileStore) (*onex.DB, error) {
+func openSource(source string, eng *store.FileStore, fsyncEvery int) (*onex.DB, error) {
 	ds, err := server.DatasetForSource(source)
 	if err != nil {
 		return nil, err
@@ -198,7 +305,7 @@ func openSource(source string, eng *store.FileStore) (*onex.DB, error) {
 	if maxLen > 48 {
 		maxLen = 48 // keep preload preprocessing interactive
 	}
-	cfg := onex.Config{MaxLength: maxLen}
+	cfg := onex.Config{MaxLength: maxLen, FsyncEvery: fsyncEvery}
 	if eng != nil {
 		cfg.Store = eng
 	}

@@ -6,7 +6,7 @@ import (
 
 func TestOpenSourceGenerators(t *testing.T) {
 	for _, source := range []string{"matters:GrowthRate", "electricity", "cbf", "walks", "ecg"} {
-		db, err := openSource(source, nil)
+		db, err := openSource(source, nil, 1)
 		if err != nil {
 			t.Fatalf("openSource(%s): %v", source, err)
 		}
@@ -19,7 +19,7 @@ func TestOpenSourceGenerators(t *testing.T) {
 
 func TestOpenSourceErrors(t *testing.T) {
 	for _, source := range []string{"bogus", "matters:Nope", "file:/does/not/exist.csv"} {
-		if _, err := openSource(source, nil); err == nil {
+		if _, err := openSource(source, nil, 1); err == nil {
 			t.Fatalf("openSource(%s) accepted", source)
 		}
 	}

@@ -1,0 +1,262 @@
+// Command onexreplbench measures and exercises the replication subsystem:
+// it runs a leader (real FileStore + HTTP endpoints, in-process) and a
+// follower, and reports how fast a replica comes up and stays caught up.
+//
+//	onexreplbench -series 24 -len 256 -ingest 200 -out BENCH_replica.json
+//	onexreplbench -check            # also run the convergence scenarios
+//
+// Two numbers matter operationally and both are reported:
+//
+//   - snapshot ship time: cold-follower time from first byte to a serving
+//     DB (bootstrap = download + decode + engine rebind), and
+//   - WAL apply rate: records/second a streaming follower sustains while
+//     the leader ingests.
+//
+// -check additionally runs the failure scenarios the design guarantees:
+// a follower killed mid-stream and restarted converges to the leader's
+// exact version, and a leader compaction behind a live follower fences it
+// into a clean snapshot re-ship (never a torn or gapped stream). Each
+// scenario asserts convergence (follower version == leader version) and
+// exits non-zero on violation, so CI can run it as a smoke test.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/replica"
+	"repro/internal/server"
+	"repro/internal/store"
+	"repro/onex"
+)
+
+// report is the benchmark output written to -out (and stdout).
+type report struct {
+	Config struct {
+		Series  int `json:"series"`
+		Length  int `json:"length"`
+		Ingests int `json:"ingests"`
+	} `json:"config"`
+	// SnapshotShipMillis is the cold-bootstrap time: snapshot download,
+	// decode, and engine rebind, until the follower serves queries.
+	SnapshotShipMillis float64 `json:"snapshot_ship_millis"`
+	// SnapshotBytes is the size of the shipped snapshot.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// WALApplyPerSec is the streaming apply rate: ingests replicated per
+	// second while the leader writes (includes long-poll latency).
+	WALApplyPerSec float64 `json:"wal_apply_per_sec"`
+	// CatchupMillis is the total time from first ingest to the follower
+	// having applied all of them.
+	CatchupMillis float64 `json:"catchup_millis"`
+	// Checks lists the -check scenario outcomes ("pass"), empty without
+	// -check.
+	Checks map[string]string `json:"checks,omitempty"`
+}
+
+func main() {
+	series := flag.Int("series", 24, "series in the leader dataset")
+	length := flag.Int("len", 256, "points per series")
+	ingests := flag.Int("ingest", 200, "series ingested while the follower streams")
+	check := flag.Bool("check", false, "also run the kill/restart and compaction-fence convergence scenarios")
+	out := flag.String("out", "BENCH_replica.json", "report path (empty = stdout only)")
+	flag.Parse()
+
+	var rep report
+	rep.Config.Series = *series
+	rep.Config.Length = *length
+	rep.Config.Ingests = *ingests
+
+	dir, err := os.MkdirTemp("", "onexreplbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Leader: a store-backed DB behind the real HTTP surface.
+	leaderDB := openLeader(filepath.Join(dir, "leader"), *series, *length)
+	srv := server.New()
+	srv.AddDB("bench", leaderDB)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	// Cold bootstrap: time to a serving follower.
+	f := replica.New(hts.URL, "bench", replica.Options{PollWait: time.Second})
+	start := time.Now()
+	go func() { _ = f.Run(ctx) }()
+	if err := f.WaitCaughtUp(ctx, leaderDB.Version()); err != nil {
+		log.Fatalf("bootstrap never converged: %v", err)
+	}
+	rep.SnapshotShipMillis = float64(time.Since(start).Microseconds()) / 1000
+	if st, ok := leaderDB.StoreStatus(); ok {
+		rep.SnapshotBytes = st.SnapshotBytes
+	}
+
+	// Streaming apply rate: ingest under the follower's feet, then wait
+	// for convergence.
+	walks := gen.RandomWalks(gen.WalkOptions{Num: *ingests, Length: *length, Seed: 7})
+	start = time.Now()
+	for _, s := range walks.Series {
+		if err := leaderDB.AddSeries("live-"+s.Name, s.Values); err != nil {
+			log.Fatalf("leader ingest: %v", err)
+		}
+	}
+	target := leaderDB.Version()
+	if err := f.WaitCaughtUp(ctx, target); err != nil {
+		log.Fatalf("stream never converged: %v", err)
+	}
+	elapsed := time.Since(start)
+	rep.CatchupMillis = float64(elapsed.Microseconds()) / 1000
+	rep.WALApplyPerSec = float64(*ingests) / elapsed.Seconds()
+	if got := f.DB().Version(); got != target {
+		log.Fatalf("converged follower at version %d, leader at %d", got, target)
+	}
+	cancel()
+
+	if *check {
+		rep.Checks = map[string]string{}
+		runCheck(rep.Checks, "kill_restart_converges", checkKillRestart)
+		runCheck(rep.Checks, "compaction_fence_reships", checkCompactionFence)
+	}
+
+	body, _ := json.MarshalIndent(rep, "", "  ")
+	body = append(body, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, body, 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	os.Stdout.Write(body)
+}
+
+// runCheck executes one convergence scenario, recording "pass" or dying
+// with the failure (non-zero exit for CI).
+func runCheck(results map[string]string, name string, fn func() error) {
+	if err := fn(); err != nil {
+		log.Fatalf("check %s: %v", name, err)
+	}
+	results[name] = "pass"
+	log.Printf("check %s: pass", name)
+}
+
+// openLeader builds a store-backed leader DB over a deterministic dataset.
+func openLeader(dir string, series, length int) *onex.DB {
+	eng, err := store.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := gen.RandomWalks(gen.WalkOptions{Num: series, Length: length, Seed: 3})
+	db, err := onex.Open(ds, onex.Config{Store: eng, MaxLength: 24})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+// checkKillRestart kills a follower mid-stream (context cancel, state
+// dropped) and verifies a fresh follower converges to the leader's exact
+// version afterwards — the crash-and-replace operational path.
+func checkKillRestart() error {
+	dir, err := os.MkdirTemp("", "onexreplcheck")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	leaderDB := openLeader(filepath.Join(dir, "leader"), 8, 128)
+	srv := server.New()
+	srv.AddDB("chk", leaderDB)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	walks := gen.RandomWalks(gen.WalkOptions{Num: 40, Length: 128, Seed: 11})
+
+	// First follower: killed partway through the ingest stream.
+	fctx, kill := context.WithCancel(ctx)
+	defer kill()
+	f1 := replica.New(hts.URL, "chk", replica.Options{PollWait: 500 * time.Millisecond})
+	go func() { _ = f1.Run(fctx) }()
+	for i, s := range walks.Series[:20] {
+		if err := leaderDB.AddSeries("w-"+s.Name, s.Values); err != nil {
+			return err
+		}
+		if i == 10 {
+			kill() // mid-stream: records keep landing on the leader after this
+		}
+	}
+	// Remaining ingests land while no follower is running.
+	for _, s := range walks.Series[20:] {
+		if err := leaderDB.AddSeries("w-"+s.Name, s.Values); err != nil {
+			return err
+		}
+	}
+
+	// Restarted follower (fresh state, as after a crash) must converge.
+	f2 := replica.New(hts.URL, "chk", replica.Options{PollWait: 500 * time.Millisecond})
+	go func() { _ = f2.Run(ctx) }()
+	if err := f2.WaitCaughtUp(ctx, leaderDB.Version()); err != nil {
+		return fmt.Errorf("restarted follower never converged: %w", err)
+	}
+	if got, want := f2.DB().Version(), leaderDB.Version(); got != want {
+		return fmt.Errorf("restarted follower at version %d, leader at %d", got, want)
+	}
+	return nil
+}
+
+// checkCompactionFence compacts the leader behind a live follower's cursor
+// and verifies the follower re-ships the snapshot (fence path) and still
+// converges — the WAL tail it was reading was folded away underneath it.
+func checkCompactionFence() error {
+	dir, err := os.MkdirTemp("", "onexreplfence")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	leaderDB := openLeader(filepath.Join(dir, "leader"), 8, 128)
+	srv := server.New()
+	srv.AddDB("chk", leaderDB)
+	hts := httptest.NewServer(srv.Handler())
+	defer hts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	f := replica.New(hts.URL, "chk", replica.Options{PollWait: 500 * time.Millisecond})
+	go func() { _ = f.Run(ctx) }()
+	if err := f.WaitCaughtUp(ctx, leaderDB.Version()); err != nil {
+		return fmt.Errorf("bootstrap: %w", err)
+	}
+
+	// Ingest + compact repeatedly: each Snapshot() folds the WAL, so a
+	// follower that has not yet polled the new records is behind the
+	// compaction boundary and must be fenced into a snapshot re-ship.
+	walks := gen.RandomWalks(gen.WalkOptions{Num: 12, Length: 128, Seed: 19})
+	for _, s := range walks.Series {
+		if err := leaderDB.AddSeries("c-"+s.Name, s.Values); err != nil {
+			return err
+		}
+		if err := leaderDB.Snapshot(); err != nil {
+			return err
+		}
+	}
+	if err := f.WaitCaughtUp(ctx, leaderDB.Version()); err != nil {
+		return fmt.Errorf("fenced follower never converged: %w", err)
+	}
+	if got, want := f.DB().Version(), leaderDB.Version(); got != want {
+		return fmt.Errorf("fenced follower at version %d, leader at %d", got, want)
+	}
+	if st := f.Status(); st.SnapshotsShipped < 2 {
+		return fmt.Errorf("expected at least one fence-triggered re-ship, got %d total ships", st.SnapshotsShipped)
+	}
+	return nil
+}

@@ -178,7 +178,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 
 	// Persistence families (onex_store_*) appear only once a store-backed
-	// dataset is registered, keeping scrapes stable for in-memory-only
-	// deployments.
+	// dataset is registered, and replication families (onex_replica_*) only
+	// on serving followers, keeping scrapes stable elsewhere.
 	s.writeStoreMetrics(w)
+	s.writeReplicaMetrics(w)
 }

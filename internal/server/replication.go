@@ -1,0 +1,219 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/onex"
+)
+
+// maxWALWait caps how long one WAL long-poll may hold its request open.
+// Followers re-poll immediately after a 204, so the cap bounds resource
+// held per idle follower, not replication latency.
+const maxWALWait = 30 * time.Second
+
+// WithLeader puts the server in serving-follower mode: the write endpoints
+// (dataset load and series ingest) are rejected with 503 plus an
+// X-Onex-Leader header naming the leader that accepts writes. Every read
+// endpoint keeps serving — from replica DBs swapped in by the follower
+// loops — which is the point of a read replica: scale queries without
+// forking the write history.
+func WithLeader(leaderURL string) Option {
+	return func(s *Server) { s.leaderURL = leaderURL }
+}
+
+// WithReplicaStatus wires the follower's replication telemetry into
+// /healthz and /metrics: fn is sampled at each scrape and should return
+// the per-dataset replica.Status map (a serving follower passes a closure
+// over its Follower set).
+func WithReplicaStatus(fn func() map[string]replica.Status) Option {
+	return func(s *Server) { s.replicaStatus = fn }
+}
+
+// rejectFollowerWrite answers a mutating request with 503 and the leader
+// hint when the server is a read-only follower. Reports true when the
+// request was consumed.
+func (s *Server) rejectFollowerWrite(w http.ResponseWriter) bool {
+	if s.leaderURL == "" {
+		return false
+	}
+	w.Header().Set(replica.HeaderLeader, s.leaderURL)
+	w.Header().Set("Retry-After", "0")
+	writeErr(w, http.StatusServiceUnavailable, "read-only follower: writes go to the leader at %s", s.leaderURL)
+	return true
+}
+
+// replicationSource resolves a dataset name to its replication view,
+// writing the error response itself when it cannot.
+func (s *Server) replicationSource(w http.ResponseWriter, r *http.Request) (store.ReplicationSource, *onex.DB, bool) {
+	db, ok := s.db(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))
+		return nil, nil, false
+	}
+	rs, ok := db.ReplicationSource()
+	if !ok {
+		// The dataset exists but has no file store (in-memory, or itself a
+		// replica): there is nothing durable to replicate from.
+		writeErr(w, http.StatusNotImplemented, "dataset %q has no replication source (no file store attached)", r.PathValue("name"))
+		return nil, nil, false
+	}
+	return rs, db, true
+}
+
+// handleReplSnapshot streams the dataset's current snapshot file verbatim
+// (the exact bytes FileStore persists — a follower feeds them to
+// onex.OpenReplica). The open file descriptor survives the atomic rename
+// a concurrent compaction performs, so the response is always one complete,
+// internally consistent snapshot: possibly superseded mid-transfer, never
+// torn.
+func (s *Server) handleReplSnapshot(w http.ResponseWriter, r *http.Request) {
+	src, db, ok := s.replicationSource(w, r)
+	if !ok {
+		return
+	}
+	blob, size, version, err := src.SnapshotBlob()
+	if err != nil {
+		if os.IsNotExist(err) {
+			writeErr(w, http.StatusNotFound, "dataset %q has no snapshot yet", r.PathValue("name"))
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	defer blob.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(size, 10))
+	w.Header().Set(replica.HeaderSnapshotVersion, strconv.FormatUint(version, 10))
+	w.Header().Set(replica.HeaderLeaderSeq, strconv.FormatUint(db.Version(), 10))
+	_, _ = io.Copy(w, blob)
+}
+
+// handleReplWAL serves the seq-addressed WAL tail: ?from=S asks for every
+// record with seq > S. 200 carries a WAL-magic-framed batch; 204 means
+// "caught up" — after long-polling up to ?wait= for new records; 410 Gone
+// is the compaction fence (the range was folded into a newer snapshot).
+// Every response carries X-Onex-Leader-Seq so followers can report lag
+// even when idle.
+func (s *Server) handleReplWAL(w http.ResponseWriter, r *http.Request) {
+	src, _, ok := s.replicationSource(w, r)
+	if !ok {
+		return
+	}
+	from, err := strconv.ParseUint(r.URL.Query().Get("from"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "wal: bad ?from=%q: must be a sequence number", r.URL.Query().Get("from"))
+		return
+	}
+	var wait time.Duration
+	if v := r.URL.Query().Get("wait"); v != "" {
+		wait, err = time.ParseDuration(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "wal: bad ?wait=%q: %v", v, err)
+			return
+		}
+	}
+	wait = min(wait, maxWALWait)
+	deadline := time.Now().Add(wait)
+
+	for {
+		// Grab the change channel before reading the tail: an append that
+		// lands between TailSince and the select closes this channel, so the
+		// long-poll can never sleep through the record it is waiting for.
+		changed := src.Changed()
+		recs, fence, err := src.TailSince(from)
+		leaderSeq := strconv.FormatUint(src.LastSeq(), 10)
+		switch {
+		case err != nil:
+			w.Header().Set(replica.HeaderLeaderSeq, leaderSeq)
+			writeErr(w, http.StatusInternalServerError, "wal: %v", err)
+			return
+		case fence:
+			w.Header().Set(replica.HeaderLeaderSeq, leaderSeq)
+			writeErr(w, http.StatusGone, "wal: records after seq %d were compacted; re-ship the snapshot", from)
+			return
+		case len(recs) > 0:
+			body := store.EncodeWALStream(recs)
+			w.Header().Set(replica.HeaderLeaderSeq, leaderSeq)
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+			_, _ = w.Write(body)
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			w.Header().Set(replica.HeaderLeaderSeq, leaderSeq)
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-changed:
+		case <-timer.C:
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+		timer.Stop()
+	}
+}
+
+// replicationInfo samples the follower telemetry for /healthz (nil on a
+// leader or before any follower has registered).
+func (s *Server) replicationInfo() map[string]replica.Status {
+	if s.replicaStatus == nil {
+		return nil
+	}
+	return s.replicaStatus()
+}
+
+// writeReplicaMetrics appends the onex_replica_* families to a /metrics
+// scrape. Like the store families, they appear only on processes actually
+// following a leader, keeping scrapes stable elsewhere.
+func (s *Server) writeReplicaMetrics(w http.ResponseWriter) {
+	sts := s.replicationInfo()
+	if len(sts) == 0 {
+		return
+	}
+	names := make([]string, 0, len(sts))
+	for n := range sts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	emit := func(family, typ, help string, value func(replica.Status) string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", family, help, family, typ)
+		for _, n := range names {
+			fmt.Fprintf(w, "%s{dataset=%q} %s\n", family, n, value(sts[n]))
+		}
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	emit("onex_replica_applied_seq", "gauge",
+		"Newest leader sequence applied by this follower, per dataset.",
+		func(st replica.Status) string { return u(st.AppliedSeq) })
+	emit("onex_replica_leader_seq", "gauge",
+		"Leader's newest sequence as of the last poll, per dataset.",
+		func(st replica.Status) string { return u(st.LeaderSeq) })
+	emit("onex_replica_lag_records", "gauge",
+		"Leader records not yet applied by this follower, per dataset.",
+		func(st replica.Status) string { return u(st.LagRecords) })
+	emit("onex_replica_seconds_since_record", "gauge",
+		"Seconds since the follower last applied a record, per dataset (-1 before any).",
+		func(st replica.Status) string { return strconv.FormatFloat(st.SecondsSinceRecord, 'g', -1, 64) })
+	emit("onex_replica_reconnects_total", "counter",
+		"Error-triggered reconnections to the leader, per dataset.",
+		func(st replica.Status) string { return u(st.Reconnects) })
+	emit("onex_replica_snapshots_shipped_total", "counter",
+		"Full snapshot bootstraps (initial plus compaction fences), per dataset.",
+		func(st replica.Status) string { return u(st.SnapshotsShipped) })
+	emit("onex_replica_records_applied_total", "counter",
+		"Leader WAL records applied since follower start, per dataset.",
+		func(st replica.Status) string { return u(st.RecordsApplied) })
+}

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/replica"
+	"repro/internal/store"
+	"repro/onex"
+)
+
+// newLeaderServer builds a server with one store-backed dataset "walks"
+// (the replication source) registered directly, the way cmd wiring does.
+func newLeaderServer(t *testing.T) (*Server, *httptest.Server, *onex.DB) {
+	t.Helper()
+	eng, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.RandomWalks(gen.WalkOptions{Num: 6, Length: 64, Seed: 5})
+	db, err := onex.Open(ds, onex.Config{Store: eng, MaxLength: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.AddDB("walks", db)
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hts.Close()
+		db.Close()
+	})
+	return s, hts, db
+}
+
+// TestReplSnapshotEndpoint: the snapshot endpoint streams a decodable
+// snapshot with version and leader-seq headers matching the DB.
+func TestReplSnapshotEndpoint(t *testing.T) {
+	_, hts, db := newLeaderServer(t)
+	resp, err := http.Get(hts.URL + replica.SnapshotPath("walks"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(replica.HeaderSnapshotVersion); got != strconv.FormatUint(db.Version(), 10) {
+		t.Fatalf("%s = %q, want %d", replica.HeaderSnapshotVersion, got, db.Version())
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := store.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatalf("shipped snapshot does not decode: %v", err)
+	}
+	if st.Version != db.Version() {
+		t.Fatalf("snapshot version = %d, leader at %d", st.Version, db.Version())
+	}
+}
+
+// TestReplWALEndpoint covers the three response shapes: 204 when caught
+// up, 200 with a DecodeWAL-parsable batch after ingests, 410 when the
+// cursor predates the snapshot boundary.
+func TestReplWALEndpoint(t *testing.T) {
+	_, hts, db := newLeaderServer(t)
+	v := db.Version()
+
+	// Caught up, no wait: 204 with the leader-seq header.
+	resp, err := http.Get(hts.URL + replica.WALPath("walks") + "?from=" + strconv.FormatUint(v, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("caught-up status = %d, want 204", resp.StatusCode)
+	}
+	if got := resp.Header.Get(replica.HeaderLeaderSeq); got != strconv.FormatUint(v, 10) {
+		t.Fatalf("%s = %q, want %d", replica.HeaderLeaderSeq, got, v)
+	}
+
+	// Ingest two series: the same cursor now yields a WAL-framed batch.
+	if err := db.AddSeries("x1", []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddSeries("x2", []float64{2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(hts.URL + replica.WALPath("walks") + "?from=" + strconv.FormatUint(v, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status = %d, want 200", resp.StatusCode)
+	}
+	recs, report, err := store.DecodeWAL(body)
+	if err != nil || report.DiscardedBytes > 0 {
+		t.Fatalf("batch does not decode cleanly: %v (%s)", err, report)
+	}
+	if len(recs) != 2 || recs[0].Seq != v+1 || recs[0].Name != "x1" || recs[1].Name != "x2" {
+		t.Fatalf("batch = %+v, want x1/x2 from seq %d", recs, v+1)
+	}
+
+	// A cursor from before the initial snapshot: fenced with 410.
+	resp, err = http.Get(hts.URL + replica.WALPath("walks") + "?from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("pre-snapshot cursor status = %d, want 410", resp.StatusCode)
+	}
+}
+
+// TestReplWALLongPoll: a waiting request is woken by an ingest rather than
+// held for the full wait.
+func TestReplWALLongPoll(t *testing.T) {
+	_, hts, db := newLeaderServer(t)
+	v := db.Version()
+	done := make(chan []store.Record, 1)
+	go func() {
+		resp, err := http.Get(hts.URL + replica.WALPath("walks") +
+			"?from=" + strconv.FormatUint(v, 10) + "&wait=10s")
+		if err != nil {
+			done <- nil
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		recs, _, _ := store.DecodeWAL(body)
+		done <- recs
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poller park
+	if err := db.AddSeries("wake", []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case recs := <-done:
+		if len(recs) != 1 || recs[0].Name != "wake" {
+			t.Fatalf("long-poll woke with %+v, want the wake record", recs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long-poll did not wake on ingest")
+	}
+}
+
+// TestReplEndpointErrors: unknown dataset 404, in-memory dataset 501, bad
+// cursor 400.
+func TestReplEndpointErrors(t *testing.T) {
+	s, hts, _ := newLeaderServer(t)
+	mem, err := onex.Open(gen.RandomWalks(gen.WalkOptions{Num: 4, Length: 32, Seed: 9}), onex.Config{MaxLength: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDB("mem", mem)
+
+	for _, tc := range []struct {
+		url  string
+		want int
+	}{
+		{replica.SnapshotPath("nope"), http.StatusNotFound},
+		{replica.WALPath("nope") + "?from=1", http.StatusNotFound},
+		{replica.SnapshotPath("mem"), http.StatusNotImplemented},
+		{replica.WALPath("mem") + "?from=1", http.StatusNotImplemented},
+		{replica.WALPath("walks") + "?from=banana", http.StatusBadRequest},
+		{replica.WALPath("walks") + "?from=1&wait=banana", http.StatusBadRequest},
+	} {
+		resp, err := http.Get(hts.URL + tc.url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("GET %s = %d, want %d", tc.url, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestFollowerRejectsWrites: with WithLeader, the write endpoints answer
+// 503 and name the leader; reads keep working.
+func TestFollowerRejectsWrites(t *testing.T) {
+	s := New(WithLeader("http://leader:8080"))
+	mem, err := onex.Open(gen.RandomWalks(gen.WalkOptions{Num: 4, Length: 32, Seed: 9}), onex.Config{MaxLength: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.AddDB("walks", mem)
+	hts := httptest.NewServer(s.Handler())
+	defer hts.Close()
+
+	body, _ := json.Marshal(AddSeriesRequest{Series: "w", Values: []float64{1, 2, 3, 4}})
+	resp, err := http.Post(hts.URL+"/api/v1/datasets/walks/series", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower ingest status = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get(replica.HeaderLeader); got != "http://leader:8080" {
+		t.Fatalf("%s = %q, want the leader URL", replica.HeaderLeader, got)
+	}
+
+	lbody, _ := json.Marshal(LoadRequest{Name: "x", Source: "walks"})
+	resp, err = http.Post(hts.URL+"/api/v1/datasets/load", "application/json", bytes.NewReader(lbody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("follower load status = %d, want 503", resp.StatusCode)
+	}
+
+	// Reads still serve.
+	resp, err = http.Get(hts.URL + "/api/v1/datasets/walks/series")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follower read status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestReplicaTelemetrySurfaces: WithReplicaStatus feeds both the healthz
+// replication block and the onex_replica_* metric families.
+func TestReplicaTelemetrySurfaces(t *testing.T) {
+	sample := replica.Status{
+		Dataset: "walks", Leader: "http://leader:8080", State: "streaming",
+		AppliedSeq: 7, LeaderSeq: 9, LagRecords: 2, SecondsSinceRecord: 0.5,
+		Reconnects: 1, SnapshotsShipped: 2, RecordsApplied: 6,
+	}
+	s := New(
+		WithLeader("http://leader:8080"),
+		WithReplicaStatus(func() map[string]replica.Status {
+			return map[string]replica.Status{"walks": sample}
+		}),
+	)
+	hts := httptest.NewServer(s.Handler())
+	defer hts.Close()
+
+	var health HealthResponse
+	getJSON(t, hts.URL+"/healthz", &health)
+	if health.Leader != "http://leader:8080" {
+		t.Fatalf("healthz leader = %q", health.Leader)
+	}
+	st, ok := health.Replication["walks"]
+	if !ok || st.AppliedSeq != 7 || st.LeaderSeq != 9 || st.LagRecords != 2 {
+		t.Fatalf("healthz replication block = %+v", health.Replication)
+	}
+
+	resp, err := http.Get(hts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`onex_replica_applied_seq{dataset="walks"} 7`,
+		`onex_replica_leader_seq{dataset="walks"} 9`,
+		`onex_replica_lag_records{dataset="walks"} 2`,
+		`onex_replica_seconds_since_record{dataset="walks"} 0.5`,
+		`onex_replica_reconnects_total{dataset="walks"} 1`,
+		`onex_replica_snapshots_shipped_total{dataset="walks"} 2`,
+		`onex_replica_records_applied_total{dataset="walks"} 6`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestHealthzRecoveryDetail: the persistence block carries the structured
+// recovery report (snapshot version, records replayed) for store-backed
+// datasets.
+func TestHealthzRecoveryDetail(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := gen.RandomWalks(gen.WalkOptions{Num: 4, Length: 48, Seed: 13})
+	db, err := onex.Open(ds, onex.Config{Store: eng, MaxLength: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	openVersion := db.Version()
+	if err := db.AddSeries("extra", []float64{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	db.Close()
+
+	re, err := onex.OpenStore(dir, onex.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New()
+	s.AddDB("walks", re)
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hts.Close()
+		re.Close()
+	})
+
+	var health HealthResponse
+	getJSON(t, hts.URL+"/healthz", &health)
+	info, ok := health.Persistence["walks"]
+	if !ok || info.RecoveryDetail == nil {
+		t.Fatalf("persistence block missing recovery detail: %+v", health.Persistence)
+	}
+	det := info.RecoveryDetail
+	if det.SnapshotVersion != openVersion || det.RecordsReplayed != 1 || det.WALBytesTruncated != 0 {
+		t.Fatalf("recovery detail = %+v, want snapshotVersion=%d recordsReplayed=1", det, openVersion)
+	}
+}

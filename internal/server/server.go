@@ -60,6 +60,7 @@ import (
 	"sync"
 
 	"repro/internal/gen"
+	"repro/internal/replica"
 	"repro/internal/servecache"
 	"repro/internal/ts"
 	"repro/onex"
@@ -73,6 +74,7 @@ type Server struct {
 	dataDir    string // when set, "file:" load sources must resolve inside it
 	maxWorkers int    // per-request cap on Query/Analysis Workers (0 = GOMAXPROCS)
 	storeDir   string // when set, loaded datasets persist under storeDir/<name> (WithStore)
+	fsyncEvery int    // WAL group-commit stride for store-backed datasets (WithFsyncEvery)
 
 	// Serving tier (see docs/ARCHITECTURE.md, "serving tier"): a versioned
 	// result cache, per-client rate limiting, concurrent-query admission
@@ -83,6 +85,12 @@ type Server struct {
 	gate       *gate
 	metrics    *metrics
 	trustProxy bool // rate-limit on X-Forwarded-For (WithTrustedProxy)
+
+	// Replication (see replication.go): leaderURL marks a serving follower
+	// (writes 503 there); replicaStatus samples follower telemetry for
+	// /healthz and the onex_replica_* metric families.
+	leaderURL     string
+	replicaStatus func() map[string]replica.Status
 }
 
 // Option customizes a Server at construction.
@@ -239,6 +247,11 @@ func (s *Server) routes() {
 	s.api("GET", "/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// Leader replication surface: snapshot shipping plus the seq-addressed
+	// WAL tail followers long-poll (see replication.go). Deliberately
+	// outside /api — this is a peer protocol, not an analyst API.
+	s.mux.HandleFunc("GET /replication/v1/datasets/{name}/snapshot", s.handleReplSnapshot)
+	s.mux.HandleFunc("GET /replication/v1/datasets/{name}/wal", s.handleReplWAL)
 	s.api("POST", "/datasets/{name}/query/similarity", s.instrument("legacy_query", true, s.handleSimilarity))
 	s.api("POST", "/datasets/{name}/query/range", s.instrument("legacy_query", true, s.handleRange))
 	s.api("POST", "/datasets/{name}/query/seasonal", s.instrument("legacy_query", true, s.handleSeasonal))
@@ -291,6 +304,9 @@ type LoadResponse struct {
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req LoadRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
@@ -316,11 +332,12 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cfg := onex.Config{
-		ST:        req.ST,
-		MinLength: req.MinLength,
-		MaxLength: req.MaxLength,
-		Band:      req.Band,
-		Exact:     req.Exact,
+		ST:         req.ST,
+		MinLength:  req.MinLength,
+		MaxLength:  req.MaxLength,
+		Band:       req.Band,
+		Exact:      req.Exact,
+		FsyncEvery: s.fsyncEvery,
 	}
 	if s.storeDir != "" {
 		eng, err := s.openStoreFor(req.Name)
@@ -718,6 +735,9 @@ type AddSeriesRequest struct {
 }
 
 func (s *Server) handleAddSeries(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	db, ok := s.db(r.PathValue("name"))
 	if !ok {
 		writeErr(w, http.StatusNotFound, "dataset %q not loaded", r.PathValue("name"))

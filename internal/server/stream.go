@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/replica"
 	"repro/onex"
 )
 
@@ -95,6 +96,11 @@ type HealthResponse struct {
 	// snapshot age, WAL backlog); see PersistenceInfo. Empty with no
 	// datasets loaded.
 	Persistence map[string]PersistenceInfo `json:"persistence,omitempty"`
+	// Leader is set on serving followers: the URL writes should go to.
+	Leader string `json:"leader,omitempty"`
+	// Replication reports each followed dataset's lag and stream health
+	// (only on serving followers; see replica.Status).
+	Replication map[string]replica.Status `json:"replication,omitempty"`
 }
 
 // buildVersion resolves the module build version once; it cannot change
@@ -121,5 +127,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		GoVersion:   runtime.Version(),
 		Datasets:    n,
 		Persistence: s.persistenceInfo(),
+		Leader:      s.leaderURL,
+		Replication: s.replicationInfo(),
 	})
 }

@@ -41,6 +41,21 @@ type FileStore struct {
 	snapVersion uint64
 	snapTime    time.Time
 	recovery    RecoveryReport
+
+	// tail mirrors the WAL's decoded records in memory so replication can
+	// serve seq-addressed reads without re-reading the file. It is seeded
+	// by Load, extended by Append, and reset by Snapshot, so its size is
+	// bounded by the compaction threshold. lastSeq is the newest sequence
+	// the store holds (snapshot or tail); change is closed (and replaced)
+	// on every append or compaction to wake long-polling tail readers.
+	tail    []Record
+	lastSeq uint64
+	change  chan struct{}
+
+	// fsyncEvery is the group-commit stride (1 = fsync per append, the
+	// durable default); unsynced counts appends since the last fsync.
+	fsyncEvery int
+	unsynced   int
 }
 
 // Open creates or opens a FileStore directory. It cleans up (and records in
@@ -51,7 +66,7 @@ func Open(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: Open: %w", err)
 	}
-	fs := &FileStore{dir: dir}
+	fs := &FileStore{dir: dir, change: make(chan struct{}), fsyncEvery: 1}
 
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -167,6 +182,17 @@ func (fs *FileStore) Load() (*LoadResult, error) {
 	}
 	res.Records = records
 	fs.walRecs = len(records)
+	fs.tail = append([]Record(nil), records...)
+	fs.lastSeq = fs.snapVersion
+	if n := len(records); n > 0 && records[n-1].Seq > fs.lastSeq {
+		fs.lastSeq = records[n-1].Seq
+	}
+	res.Recovery.SnapshotVersion = fs.snapVersion
+	for _, rec := range records {
+		if rec.Seq > fs.snapVersion {
+			res.Recovery.ReplayedRecords++
+		}
+	}
 	fs.recovery = res.Recovery
 	return res, nil
 }
@@ -217,11 +243,23 @@ func (fs *FileStore) Snapshot(st *State) error {
 	fs.snapVersion = stamped.Version
 	fs.snapTime = stamped.CreatedAt
 	fs.compactions++
+	// The folded records leave the retained tail: a follower whose cursor
+	// predates this snapshot must now re-ship it (TailSince fences).
+	fs.tail = nil
+	if stamped.Version > fs.lastSeq {
+		fs.lastSeq = stamped.Version
+	}
+	fs.unsynced = 0
+	fs.wakeLocked()
 	return nil
 }
 
-// Append implements Engine: frame, write, and fsync one record. The record
-// is durable when Append returns nil.
+// Append implements Engine: frame, write, and fsync one record. With the
+// default fsync stride of 1 the record is durable when Append returns nil.
+// A larger stride (SetFsyncEvery) groups commits: the fsync runs once per
+// stride, so a crash can lose up to stride-1 of the most recent acked
+// appends — always a clean suffix, never a torn middle, because recovery
+// keeps the longest valid record prefix.
 func (fs *FileStore) Append(rec Record) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -232,13 +270,141 @@ func (fs *FileStore) Append(rec Record) error {
 	if _, err := fs.wal.Write(buf); err != nil {
 		return fmt.Errorf("store: Append: %w", err)
 	}
-	if err := fs.wal.Sync(); err != nil {
-		return fmt.Errorf("store: Append: %w", err)
+	fs.unsynced++
+	if fs.unsynced >= fs.fsyncEvery {
+		if err := fs.wal.Sync(); err != nil {
+			return fmt.Errorf("store: Append: %w", err)
+		}
+		fs.unsynced = 0
 	}
 	fs.walBytes += int64(len(buf))
 	fs.walRecs++
 	fs.appends++
+	fs.tail = append(fs.tail, rec)
+	if rec.Seq > fs.lastSeq {
+		fs.lastSeq = rec.Seq
+	}
+	fs.wakeLocked()
 	return nil
+}
+
+// SetFsyncEvery sets the group-commit stride: the WAL is fsynced once per
+// n appends. n = 1 (the default) restores fsync-per-append durability;
+// larger strides trade the tail of a crash window — at most n-1 acked
+// ingests — for one fsync amortized over n appends on ingest-heavy
+// leaders. Values below 1 are clamped to 1.
+func (fs *FileStore) SetFsyncEvery(n int) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.fsyncEvery = max(n, 1)
+}
+
+// Flush fsyncs any appends deferred by a group-commit stride > 1.
+func (fs *FileStore) Flush() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return ErrClosed
+	}
+	return fs.flushLocked()
+}
+
+func (fs *FileStore) flushLocked() error {
+	if fs.unsynced == 0 || fs.wal == nil {
+		return nil
+	}
+	if err := fs.wal.Sync(); err != nil {
+		return fmt.Errorf("store: Flush: %w", err)
+	}
+	fs.unsynced = 0
+	return nil
+}
+
+// wakeLocked wakes long-polling tail readers: the current change channel
+// is closed and replaced. Callers hold fs.mu.
+func (fs *FileStore) wakeLocked() {
+	close(fs.change)
+	fs.change = make(chan struct{})
+}
+
+// Changed implements ReplicationSource.
+func (fs *FileStore) Changed() <-chan struct{} {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.change
+}
+
+// LastSeq implements ReplicationSource.
+func (fs *FileStore) LastSeq() uint64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.lastSeq
+}
+
+// SnapshotBlob implements ReplicationSource: it opens the current snapshot
+// file for streaming. The returned handle survives a concurrent compaction
+// swap (rename does not invalidate an open descriptor), so the bytes read
+// are always one complete, self-verifying snapshot — possibly one
+// compaction old, which the WAL tail then covers.
+func (fs *FileStore) SnapshotBlob() (io.ReadCloser, int64, uint64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, 0, 0, ErrClosed
+	}
+	f, err := os.Open(filepath.Join(fs.dir, snapshotFile))
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, 0, err
+	}
+	return f, info.Size(), fs.snapVersion, nil
+}
+
+// TailSince implements ReplicationSource: the retained records with
+// Seq > from, contiguous from from+1, or a fence when compaction folded
+// part of that range into the snapshot. The returned slice is a copy and
+// safe to use after the lock is released. Records are served from the
+// in-memory tail, which may run ahead of the fsync horizon under group
+// commit — a follower can therefore briefly hold records the leader would
+// lose in a crash; the follower's next tail request fences and re-ships in
+// that case, so the pair reconverges on the durable state.
+func (fs *FileStore) TailSince(from uint64) ([]Record, bool, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.closed {
+		return nil, false, ErrClosed
+	}
+	if from > fs.lastSeq {
+		// The follower is ahead of everything we hold — it replicated from
+		// a leader state that no longer exists (e.g. we restarted from an
+		// older snapshot). Fence so it resyncs to our reality.
+		return nil, true, nil
+	}
+	if from == fs.lastSeq {
+		return nil, false, nil // caught up
+	}
+	// from < lastSeq: the follower needs from+1..lastSeq contiguously.
+	if len(fs.tail) == 0 || fs.tail[0].Seq > from+1 {
+		// Records (from, tail start) were folded into the snapshot and
+		// dropped from the log: re-ship the snapshot.
+		return nil, true, nil
+	}
+	i := 0
+	for i < len(fs.tail) && fs.tail[i].Seq <= from {
+		i++
+	}
+	if i == len(fs.tail) {
+		// The retained tail predates the snapshot (a crash-leftover log):
+		// the records past from exist only inside the snapshot. Fence.
+		return nil, true, nil
+	}
+	out := make([]Record, len(fs.tail)-i)
+	copy(out, fs.tail[i:])
+	return out, false, nil
 }
 
 // Status implements Engine.
@@ -254,6 +420,8 @@ func (fs *FileStore) Status() Status {
 		WALBytes:        fs.walBytes,
 		Appends:         fs.appends,
 		Compactions:     fs.compactions,
+		FsyncEvery:      fs.fsyncEvery,
+		LastSeq:         fs.lastSeq,
 		Recovery:        fs.recovery,
 	}
 	if info, err := os.Stat(filepath.Join(fs.dir, snapshotFile)); err == nil {
@@ -272,7 +440,12 @@ func (fs *FileStore) Close() error {
 	}
 	fs.closed = true
 	if fs.wal != nil {
-		err := fs.wal.Close()
+		// Flush any group-commit remainder so a clean shutdown loses
+		// nothing even with FsyncEvery > 1.
+		err := fs.flushLocked()
+		if cerr := fs.wal.Close(); err == nil {
+			err = cerr
+		}
 		fs.wal = nil
 		return err
 	}

@@ -1,0 +1,312 @@
+package store
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// replSource opens a FileStore with a version-42 snapshot (testState), the
+// starting point for every replication-view test.
+func replSource(t *testing.T) *FileStore {
+	t.Helper()
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fs.Close() })
+	if err := fs.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func mustAppend(t *testing.T, fs *FileStore, seq uint64) {
+	t.Helper()
+	if err := fs.Append(Record{Seq: seq, Name: "r", Values: []float64{1, 2, 3}}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTailSinceSemantics covers the four contract cases: records to serve,
+// caught up, fenced behind the snapshot, and fenced ahead of the leader.
+func TestTailSinceSemantics(t *testing.T) {
+	fs := replSource(t) // snapshot at 42, empty WAL
+	for seq := uint64(43); seq <= 45; seq++ {
+		mustAppend(t, fs, seq)
+	}
+	if got := fs.LastSeq(); got != 45 {
+		t.Fatalf("LastSeq = %d, want 45", got)
+	}
+
+	recs, fence, err := fs.TailSince(42)
+	if err != nil || fence {
+		t.Fatalf("TailSince(42) fence=%v err=%v", fence, err)
+	}
+	if len(recs) != 3 || recs[0].Seq != 43 || recs[2].Seq != 45 {
+		t.Fatalf("TailSince(42) = %+v, want seqs 43..45", recs)
+	}
+
+	recs, fence, err = fs.TailSince(44)
+	if err != nil || fence || len(recs) != 1 || recs[0].Seq != 45 {
+		t.Fatalf("TailSince(44) = %v recs, fence=%v, err=%v", len(recs), fence, err)
+	}
+
+	// Caught up: empty, unfenced.
+	recs, fence, err = fs.TailSince(45)
+	if err != nil || fence || len(recs) != 0 {
+		t.Fatalf("TailSince(45) = %v recs, fence=%v, err=%v", len(recs), fence, err)
+	}
+
+	// Behind the snapshot (1..42 were folded at snapshot time): fence.
+	if _, fence, _ = fs.TailSince(10); !fence {
+		t.Fatal("TailSince(10) should fence (range folded into snapshot)")
+	}
+
+	// Ahead of the leader (a follower of some future incarnation): fence.
+	if _, fence, _ = fs.TailSince(99); !fence {
+		t.Fatal("TailSince(99) should fence (follower ahead of leader)")
+	}
+}
+
+// TestTailSinceAcrossCompaction: a compaction folds the tail away, so a
+// cursor from before the boundary fences while the new boundary itself is
+// caught up — the exact transition a live follower rides through.
+func TestTailSinceAcrossCompaction(t *testing.T) {
+	fs := replSource(t)
+	for seq := uint64(43); seq <= 45; seq++ {
+		mustAppend(t, fs, seq)
+	}
+	st := testState(t)
+	st.Version = 45
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	if _, fence, _ := fs.TailSince(43); !fence {
+		t.Fatal("TailSince(43) after compaction should fence")
+	}
+	recs, fence, err := fs.TailSince(45)
+	if err != nil || fence || len(recs) != 0 {
+		t.Fatalf("TailSince(45) after compaction = %v recs, fence=%v, err=%v", len(recs), fence, err)
+	}
+	// The stream continues seamlessly past the new boundary.
+	mustAppend(t, fs, 46)
+	recs, fence, err = fs.TailSince(45)
+	if err != nil || fence || len(recs) != 1 || recs[0].Seq != 46 {
+		t.Fatalf("TailSince(45) post-compaction append = %+v, fence=%v, err=%v", recs, fence, err)
+	}
+}
+
+// TestChangedWakesLongPollers: the broadcast channel closes on append and
+// on compaction, so a long-polling WAL handler never sleeps through the
+// record it is waiting for.
+func TestChangedWakesLongPollers(t *testing.T) {
+	fs := replSource(t)
+
+	ch := fs.Changed()
+	select {
+	case <-ch:
+		t.Fatal("Changed() fired with no mutation")
+	case <-time.After(10 * time.Millisecond):
+	}
+	mustAppend(t, fs, 43)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Changed() did not fire on append")
+	}
+
+	ch = fs.Changed()
+	st := testState(t)
+	st.Version = 43
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Changed() did not fire on compaction")
+	}
+}
+
+// TestSnapshotBlobSurvivesCompaction: a blob opened before a compaction
+// still reads as one complete, decodable snapshot afterwards (the open fd
+// survives the atomic rename) — a follower mid-download never sees a torn
+// image.
+func TestSnapshotBlobSurvivesCompaction(t *testing.T) {
+	fs := replSource(t)
+	blob, size, version, err := fs.SnapshotBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blob.Close()
+	if version != 42 {
+		t.Fatalf("SnapshotBlob version = %d, want 42", version)
+	}
+
+	// Compact to a newer version while the blob is open.
+	mustAppend(t, fs, 43)
+	st := testState(t)
+	st.Version = 43
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := io.ReadAll(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) != size {
+		t.Fatalf("blob read %d bytes, advertised %d", len(data), size)
+	}
+	got, err := DecodeSnapshot(data)
+	if err != nil {
+		t.Fatalf("blob no longer decodes after compaction: %v", err)
+	}
+	if got.Version != 42 {
+		t.Fatalf("blob decoded to version %d, want the pre-compaction 42", got.Version)
+	}
+}
+
+// TestGroupCommitDurableOnCloseAndFlush: with a fsync stride above 1,
+// appends are still fully present after Flush or Close (both force the
+// deferred fsync), so a graceful shutdown never loses acked ingests.
+func TestGroupCommitDurableOnCloseAndFlush(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFsyncEvery(8)
+	if err := fs.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(43); seq <= 47; seq++ { // 5 appends < stride 8: no fsync yet
+		mustAppend(t, fs, seq)
+	}
+	if err := fs.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, fs, 48)
+	if st := fs.Status(); st.FsyncEvery != 8 || st.LastSeq != 48 {
+		t.Fatalf("Status fsyncEvery=%d lastSeq=%d, want 8/48", st.FsyncEvery, st.LastSeq)
+	}
+	if err := fs.Close(); err != nil { // Close flushes the unsynced suffix
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 6 || res.Records[5].Seq != 48 {
+		t.Fatalf("reopened with %d records, want all 6 through 48", len(res.Records))
+	}
+	if !res.Recovery.Empty() {
+		t.Fatalf("recovery not clean: %s", res.Recovery)
+	}
+}
+
+// TestRecoveryReportCounts: the report carries the structured replay
+// account (snapshot version + records replayed) that /healthz surfaces.
+func TestRecoveryReportCounts(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Snapshot(testState(t)); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, fs, 43)
+	mustAppend(t, fs, 44)
+	fs.Close()
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	res, err := re.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recovery.SnapshotVersion != 42 || res.Recovery.ReplayedRecords != 2 {
+		t.Fatalf("recovery report = %+v, want snapshotVersion=42 replayedRecords=2", res.Recovery)
+	}
+}
+
+// TestCompactionRacesTailReader is the satellite (c) race test: one writer
+// interleaving appends and compactions (serialized, as under onex.DB's
+// write lock) while reader goroutines chase the tail concurrently. Every
+// read must be a seamless continuation (contiguous from the cursor) or a
+// clean fence — never a gapped or torn batch. Run with -race.
+func TestCompactionRacesTailReader(t *testing.T) {
+	fs, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	st := testState(t)
+	st.Version = 0
+	if err := fs.Snapshot(st); err != nil {
+		t.Fatal(err)
+	}
+
+	const total = 400
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var from uint64
+			for from < total {
+				recs, fence, err := fs.TailSince(from)
+				if err != nil {
+					t.Errorf("TailSince(%d): %v", from, err)
+					return
+				}
+				if fence {
+					// Re-sync exactly as a follower would: restart from the
+					// compaction boundary (the snapshot re-ship position).
+					from = fs.Status().SnapshotVersion
+					continue
+				}
+				want := from
+				for _, rec := range recs {
+					want++
+					if rec.Seq != want {
+						t.Errorf("gap: got seq %d after cursor %d", rec.Seq, want-1)
+						return
+					}
+					if len(rec.Values) != 3 {
+						t.Errorf("torn record at seq %d: %d values", rec.Seq, len(rec.Values))
+						return
+					}
+				}
+				if len(recs) > 0 {
+					from = recs[len(recs)-1].Seq
+				}
+			}
+		}()
+	}
+
+	// Single writer: appends with periodic compactions, the serialization
+	// onex.DB's write lock provides in production.
+	for seq := uint64(1); seq <= total; seq++ {
+		mustAppend(t, fs, seq)
+		if seq%37 == 0 {
+			st.Version = seq
+			if err := fs.Snapshot(st); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wg.Wait()
+}

@@ -19,6 +19,14 @@
 // WAL back into a fresh snapshot (written with an atomic temp+fsync+rename
 // swap) and resets the log.
 //
+// The same two artifacts double as the replication feed: ReplicationSource
+// exposes the current snapshot as a torn-proof blob (SnapshotBlob), the
+// live WAL tail addressed by sequence number (TailSince, with an explicit
+// fence when compaction has folded the requested range away), and a
+// broadcast channel for long-pollers (Changed). SetFsyncEvery trades a
+// bounded durability window for ingest throughput by batching WAL fsyncs
+// (group commit); Close and Flush always force the deferred sync.
+//
 // FileStore is the first Engine implementation; the in-memory path (a nil
 // Engine on the DB) remains the default.
 package store
@@ -26,6 +34,7 @@ package store
 import (
 	"errors"
 	"fmt"
+	"io"
 	"time"
 
 	"repro/internal/grouping"
@@ -82,6 +91,14 @@ type RecoveryReport struct {
 	// TempFilesRemoved lists leftover in-progress files (torn snapshot or
 	// WAL swaps from a crash mid-write) that were deleted.
 	TempFilesRemoved []string
+	// SnapshotVersion is the mutation version of the snapshot recovery
+	// started from (0 when the engine held none). Together with
+	// ReplayedRecords it lets an operator — or a follower checking its
+	// leader — confirm a clean catch-up from /healthz instead of logs.
+	SnapshotVersion uint64
+	// ReplayedRecords counts the valid WAL records past the snapshot
+	// version, i.e. the ingests recovery re-applied on top of the snapshot.
+	ReplayedRecords int
 }
 
 // Empty reports whether recovery found nothing to complain about.
@@ -139,6 +156,13 @@ type Status struct {
 	// Appends and Compactions count engine operations since process start.
 	Appends     uint64
 	Compactions uint64
+	// FsyncEvery is the group-commit stride: the WAL is fsynced once per
+	// this many appends (1 = every append, the durable default).
+	FsyncEvery int
+	// LastSeq is the newest sequence number the engine holds, in the
+	// snapshot or the WAL tail (the leader position replication lag is
+	// measured against).
+	LastSeq uint64
 	// Recovery is what the engine's Load had to discard, if anything.
 	Recovery RecoveryReport
 	// LastError carries the owning DB's most recent background persistence
@@ -171,3 +195,34 @@ type Engine interface {
 
 // ErrClosed is returned by engine operations after Close.
 var ErrClosed = errors.New("store: engine closed")
+
+// ReplicationSource is the optional Engine extension a replication leader
+// serves followers from. The version/seq discipline already makes a
+// snapshot plus a WAL tail a consistent replication unit: a follower that
+// applies the snapshot at version V and then every record V+1, V+2, ... is
+// bit-identical to the leader at each applied version. Implementations
+// must keep TailSince correct across compaction: once records have been
+// folded into a snapshot and dropped from the log, a request that predates
+// the oldest retained sequence must fence (fence=true) instead of serving
+// a gap, telling the follower to re-ship the snapshot.
+type ReplicationSource interface {
+	// SnapshotBlob opens the current snapshot for streaming: the reader
+	// (caller closes), its size, and the advisory version it was written
+	// at. The snapshot's own META section is authoritative for the
+	// version; a follower decodes it rather than trusting the transport.
+	// Returns an error satisfying errors.Is(err, os.ErrNotExist) when the
+	// engine holds no snapshot yet.
+	SnapshotBlob() (r io.ReadCloser, size int64, version uint64, err error)
+	// TailSince returns the retained WAL records with Seq > from, in
+	// order and contiguous from from+1. fence reports that records in
+	// (from, oldest-retained) were compacted away — the caller must
+	// restart from a fresh snapshot. An empty, unfenced result means the
+	// follower is caught up.
+	TailSince(from uint64) (recs []Record, fence bool, err error)
+	// LastSeq is the newest sequence number the source holds.
+	LastSeq() uint64
+	// Changed returns a channel closed at the next append or compaction,
+	// for long-polling tails. After it fires, call Changed again for a
+	// fresh channel.
+	Changed() <-chan struct{}
+}

@@ -48,6 +48,18 @@ func encodeWALRecord(rec Record) []byte {
 	return append(out, p.buf...)
 }
 
+// EncodeWALStream frames records exactly as a WAL file holds them: the
+// magic followed by length/CRC-framed records. The replication leader
+// serves WAL batches in this format so a follower decodes the stream with
+// DecodeWAL — byte-for-byte the same decoder crash recovery uses.
+func EncodeWALStream(recs []Record) []byte {
+	out := []byte(walMagic)
+	for _, rec := range recs {
+		out = append(out, encodeWALRecord(rec)...)
+	}
+	return out
+}
+
 // decodeWALPayload parses one verified record payload.
 func decodeWALPayload(payload []byte) (Record, error) {
 	r := &breader{buf: payload}

@@ -75,5 +75,9 @@ func validateConfig(cfg Config) error {
 		return &ConfigError{Field: "Workers", Value: cfg.Workers,
 			Reason: "must be non-negative (0 = GOMAXPROCS)"}
 	}
+	if cfg.FsyncEvery < 0 {
+		return &ConfigError{Field: "FsyncEvery", Value: cfg.FsyncEvery,
+			Reason: "must be non-negative (0 or 1 = fsync per ingest)"}
+	}
 	return nil
 }

@@ -48,6 +48,9 @@ func (db *DB) AddSeries(name string, values []float64) error {
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.replica {
+		return ErrReadOnlyReplica
+	}
 	if db.storeClosed {
 		return errors.New("onex: AddSeries: store closed (durability released); reopen with OpenStore")
 	}
@@ -286,6 +289,7 @@ func OpenWithBase(d *ts.Dataset, basePath string, cfg Config) (*DB, error) {
 	}
 	db := &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1), store: cfg.Store}
 	if db.store != nil {
+		applyFsyncEvery(db.store, cfg.FsyncEvery)
 		// Same contract as Open: persist the opening state immediately so a
 		// crash right after still warm-starts. On failure the engine is left
 		// open for the caller to close.

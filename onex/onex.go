@@ -101,6 +101,15 @@ type Config struct {
 	// DefaultCompactBytes; negative disables auto-compaction (explicit
 	// Snapshot calls still compact). Ignored without Store.
 	CompactBytes int64
+	// FsyncEvery is the WAL group-commit stride: the log is fsynced once
+	// per this many AddSeries appends. 0 or 1 keeps the durable default —
+	// fsync before every ingest is acknowledged. Larger strides amortize
+	// the fsync across N ingests for ingest-heavy leaders, at a documented
+	// durability cost: a crash can lose up to N-1 of the most recently
+	// acknowledged ingests (always a clean suffix — recovery keeps the
+	// longest valid WAL prefix, never a torn middle). Negative is a
+	// ConfigError. Ignored without Store.
+	FsyncEvery int
 }
 
 // DefaultCompactBytes is the WAL size threshold used when Config.
@@ -134,6 +143,11 @@ type DB struct {
 	// released, so further ingest must refuse rather than silently drop the
 	// crash-safety the caller was promised.
 	storeClosed bool
+	// replica marks a read-only follower DB (OpenReplica): AddSeries is
+	// refused — mutations arrive only through ApplyReplicated, driven by
+	// the leader's WAL stream, so follower state is exactly the leader's
+	// mutation sequence and nothing else.
+	replica bool
 }
 
 // lastDBID issues process-unique DB identifiers; see DB.id and ID.
@@ -237,6 +251,7 @@ func Open(d *ts.Dataset, cfg Config) (*DB, error) {
 	}
 	db := &DB{raw: raw, normed: normed, base: base, engine: engine, cfg: cfg, version: 1, id: lastDBID.Add(1), store: cfg.Store}
 	if db.store != nil {
+		applyFsyncEvery(db.store, cfg.FsyncEvery)
 		// Persist the freshly built state immediately so a crash right after
 		// Open still warm-starts; this overwrites whatever the engine held.
 		// On failure the engine is left open for the caller to close (the DB

@@ -23,25 +23,39 @@ var ErrNoSnapshot = errors.New("onex: store has no snapshot")
 // it — verified by the base's dataset checksum), and replays the WAL tail.
 // The resolved engine configuration (ST, length bounds, band, mode,
 // normalization) comes from the store; cfg contributes only the runtime
-// knobs that are not persisted: Workers and CompactBytes. cfg.Store must be
-// nil — OpenStore attaches its own engine, which the returned DB owns (and
-// Close releases).
+// knobs that are not persisted: Workers, CompactBytes, and FsyncEvery.
+// cfg.Store must be nil — OpenStore attaches its own engine, which the
+// returned DB owns (and Close releases).
 //
 // A directory without a snapshot returns ErrNoSnapshot.
 func OpenStore(dir string, cfg Config) (*DB, error) {
 	if cfg.Store != nil {
 		return nil, errors.New("onex: OpenStore: cfg.Store must be nil (the engine is opened from dir)")
 	}
+	if cfg.FsyncEvery < 0 {
+		return nil, &ConfigError{Field: "FsyncEvery", Value: cfg.FsyncEvery,
+			Reason: "must be non-negative (0 or 1 = fsync per ingest)"}
+	}
 	eng, err := store.Open(dir)
 	if err != nil {
 		return nil, fmt.Errorf("onex: OpenStore: %w", err)
 	}
+	applyFsyncEvery(eng, cfg.FsyncEvery)
 	db, err := openFromEngine(eng, cfg)
 	if err != nil {
 		eng.Close()
 		return nil, err
 	}
 	return db, nil
+}
+
+// applyFsyncEvery forwards the group-commit stride to engines that support
+// it (FileStore). Engines without the knob keep their own durability
+// policy.
+func applyFsyncEvery(eng store.Engine, n int) {
+	if s, ok := eng.(interface{ SetFsyncEvery(int) }); ok {
+		s.SetFsyncEvery(max(n, 1))
+	}
 }
 
 // openFromEngine recovers a DB from an already-opened engine. On error the
@@ -54,43 +68,11 @@ func openFromEngine(eng store.Engine, cfg Config) (*DB, error) {
 	if res.State == nil {
 		return nil, ErrNoSnapshot
 	}
-	st := res.State
-
-	raw := st.Dataset // decoded fresh from disk; the DB is its only owner
-	if err := raw.Validate(); err != nil {
-		return nil, fmt.Errorf("onex: OpenStore: snapshot dataset: %w", err)
-	}
-	normed, err := applyRecordedNorm(raw, st.Norm)
+	db, err := openFromState(res.State, cfg, "OpenStore")
 	if err != nil {
-		return nil, fmt.Errorf("onex: OpenStore: %w", err)
+		return nil, err
 	}
-
-	// The persisted state carries the resolved configuration: ST and the
-	// length bounds inside the base, the rest in the snapshot META.
-	cfg.ST = st.Base.ST
-	cfg.MinLength = st.Base.MinLength
-	cfg.MaxLength = st.Base.MaxLength
-	cfg.Band = st.Band
-	cfg.Exact = st.Exact
-	cfg.KeepRaw = st.KeepRaw
-
-	// newEngine verifies grouping.DatasetChecksum(normed) == base.DatasetSum,
-	// so a snapshot whose dataset and index drifted apart fails here rather
-	// than answering queries from a mismatched base.
-	engine, err := newEngine(normed, st.Base, cfg)
-	if err != nil {
-		return nil, fmt.Errorf("onex: OpenStore: %w", err)
-	}
-	db := &DB{
-		raw:     raw,
-		normed:  normed,
-		base:    st.Base,
-		engine:  engine,
-		cfg:     cfg,
-		version: st.Version,
-		id:      lastDBID.Add(1),
-		store:   eng,
-	}
+	db.store = eng
 
 	// Replay the WAL tail. Records the snapshot already folded in (a crash
 	// between compaction's two renames leaves them behind) are skipped by
@@ -108,6 +90,48 @@ func openFromEngine(eng store.Engine, cfg Config) (*DB, error) {
 		db.version++
 	}
 	return db, nil
+}
+
+// openFromState builds a DB over a decoded persisted state — the shared
+// recovery core of OpenStore (snapshot from disk) and OpenReplica
+// (snapshot shipped from a leader). The state carries the resolved engine
+// configuration; cfg contributes only runtime knobs (Workers,
+// CompactBytes, FsyncEvery). op names the caller for error messages.
+func openFromState(st *store.State, cfg Config, op string) (*DB, error) {
+	raw := st.Dataset // decoded fresh from disk or the wire; the DB is its only owner
+	if err := raw.Validate(); err != nil {
+		return nil, fmt.Errorf("onex: %s: snapshot dataset: %w", op, err)
+	}
+	normed, err := applyRecordedNorm(raw, st.Norm)
+	if err != nil {
+		return nil, fmt.Errorf("onex: %s: %w", op, err)
+	}
+
+	// The persisted state carries the resolved configuration: ST and the
+	// length bounds inside the base, the rest in the snapshot META.
+	cfg.ST = st.Base.ST
+	cfg.MinLength = st.Base.MinLength
+	cfg.MaxLength = st.Base.MaxLength
+	cfg.Band = st.Band
+	cfg.Exact = st.Exact
+	cfg.KeepRaw = st.KeepRaw
+
+	// newEngine verifies grouping.DatasetChecksum(normed) == base.DatasetSum,
+	// so a snapshot whose dataset and index drifted apart fails here rather
+	// than answering queries from a mismatched base.
+	engine, err := newEngine(normed, st.Base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("onex: %s: %w", op, err)
+	}
+	return &DB{
+		raw:     raw,
+		normed:  normed,
+		base:    st.Base,
+		engine:  engine,
+		cfg:     cfg,
+		version: st.Version,
+		id:      lastDBID.Add(1),
+	}, nil
 }
 
 // applyRecordedNorm reconstructs the engine view of raw under a previously
