@@ -89,6 +89,7 @@ func (e *Engine) CommonPatternsContext(ctx context.Context, opts CommonOptions, 
 		if l < minL || l > maxL {
 			continue
 		}
+		//onex:nopoll O(1) job enumeration per group; the scan that follows polls per group and per 64 members
 		for gi, g := range e.base.GroupsOfLength(l) {
 			jobs = append(jobs, job{l: l, gi: gi, g: g})
 		}
@@ -118,6 +119,7 @@ func (e *Engine) CommonPatternsContext(ctx context.Context, opts CommonOptions, 
 			return CommonPattern{}, false, nil
 		}
 		occ := make([]ts.SubSeq, 0, len(perSeries))
+		//onex:detorder occ is sorted by Series immediately below, so iteration order cannot reach the output
 		for _, m := range perSeries {
 			occ = append(occ, m)
 		}

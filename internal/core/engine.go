@@ -173,6 +173,7 @@ func (e *Engine) OverviewContext(ctx context.Context, length, k int, st *SearchS
 				return nil, err
 			}
 			n := 0
+			//onex:nopoll O(1) count accumulation per group; the enclosing per-length loop polls each round
 			for _, g := range e.base.GroupsOfLength(l) {
 				n += g.Count()
 			}
@@ -212,6 +213,7 @@ func (e *Engine) OverviewContext(ctx context.Context, length, k int, st *SearchS
 func (e *Engine) OverviewAll(k int) []GroupSummary {
 	var all []GroupSummary
 	for _, l := range e.base.Lengths() {
+		//onex:nopoll context-free legacy wrapper (PR 3 keeps the signature); O(1) append per group, MaxRadius scans only the returned k
 		for i, g := range e.base.GroupsOfLength(l) {
 			all = append(all, GroupSummary{
 				Group: GroupRef{Length: l, Index: i},
@@ -324,6 +326,7 @@ func (e *Engine) LengthSummariesContext(ctx context.Context, st *SearchStats) ([
 			return nil, err
 		}
 		ls := LengthSummary{Length: l}
+		//onex:nopoll O(1) count accumulation per group; the enclosing per-length loop polls each round
 		for _, g := range e.base.GroupsOfLength(l) {
 			ls.Groups++
 			ls.Subsequences += g.Count()

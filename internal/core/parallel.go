@@ -168,6 +168,7 @@ func (e *Engine) flattenGroups(q []float64, lengths []int, opts Options) []repSc
 		}
 		norm := opts.norm(len(q), l)
 		qU, qL := dist.Envelope(q, l, opts.Band)
+		//onex:nopoll O(1) job enumeration per group; the scoring pass that consumes the jobs polls per group
 		for gi, g := range groups {
 			jobs = append(jobs, repScoreJob{ref: GroupRef{Length: l, Index: gi}, g: g, norm: norm, qU: qU, qL: qL})
 		}

@@ -73,6 +73,7 @@ func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOpt
 		qU, qL := dist.Envelope(q, l, callOpts.Band)
 		w := dist.EffectiveBand(len(q), l, callOpts.Band)
 		slack := float64(2*w+1) * e.base.HalfST(l)
+		//onex:nopoll O(1) job enumeration per group; the scan that follows polls per group and per 64 members
 		for gi, g := range groups {
 			jobs = append(jobs, rangeJob{
 				ref:    GroupRef{Length: l, Index: gi},
@@ -95,6 +96,7 @@ func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOpt
 		return nil, err
 	}
 	var out []Match
+	//onex:nopoll merging already-scanned per-group results; scanGroups polled per group and per 64 members
 	for _, ms := range perGroup {
 		out = append(out, ms...)
 	}

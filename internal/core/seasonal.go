@@ -116,6 +116,7 @@ func (e *Engine) SeasonalByIndexContext(ctx context.Context, si int, opts Season
 		if l < minL || l > maxL {
 			continue
 		}
+		//onex:nopoll O(1) job enumeration per group; the scan that follows polls per group and per 64 members
 		for gi, g := range e.base.GroupsOfLength(l) {
 			jobs = append(jobs, job{l: l, gi: gi, g: g})
 		}

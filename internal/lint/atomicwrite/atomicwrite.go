@@ -1,0 +1,121 @@
+// Package atomicwrite enforces ONEX's persistence invariant: data that
+// must survive a crash is written via internal/fsutil's
+// write-temp → fsync → atomic-rename path, never through bare os calls
+// that can tear on power loss (the contract established with the PR 7
+// store and relied on by replication).
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags direct os.Rename/os.WriteFile/os.Create calls in the
+// persistence packages, and os.Rename calls not preceded by an
+// (*os.File).Sync in the same function (a rename that commits un-synced
+// data is not crash-safe). internal/fsutil itself is exempt from the
+// first rule — it is the blessed implementation — but not the second.
+// Annotate deliberate exceptions with //onex:rawfs <reason>.
+var Analyzer = &lint.Analyzer{
+	Name:      "atomicwrite",
+	Directive: "rawfs",
+	Doc: `check that persistence writes go through internal/fsutil
+
+In internal/store, internal/grouping, internal/replica, and internal/ts,
+calling os.Rename, os.WriteFile, or os.Create directly is an error: those
+paths can leave a torn file behind on crash. Use fsutil.WriteFileAtomic /
+fsutil.CreateTemp instead. Additionally, every os.Rename that commits
+data must be preceded by an (*os.File).Sync call in the same function.
+Annotate deliberate exceptions with //onex:rawfs <reason>.`,
+	Match: lint.MatchAny("internal/store", "internal/grouping", "internal/replica", "internal/ts", "internal/fsutil"),
+	Run:   run,
+}
+
+// banned are the os entry points that bypass the atomic write path.
+var banned = []string{"Rename", "WriteFile", "Create"}
+
+func run(pass *lint.Pass) error {
+	inFsutil := lint.HasSuffixPath(pass.Pkg.Path(), "internal/fsutil")
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn, inFsutil)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *lint.Pass, fn *ast.FuncDecl, inFsutil bool) {
+	var syncs []token.Pos // positions of (*os.File).Sync calls, in source order
+	type rename struct {
+		call   *ast.CallExpr
+		direct bool // already reported as a direct-call violation
+	}
+	var renames []rename
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if recv, ok := lint.MethodCallNamed(call, "Sync"); ok && isOSFile(pass.TypesInfo, recv) {
+			syncs = append(syncs, call.Pos())
+			return true
+		}
+		for _, name := range banned {
+			if !lint.PkgFuncCall(pass.TypesInfo, call, "os", name) {
+				continue
+			}
+			direct := false
+			if !inFsutil {
+				pass.Reportf(call.Pos(),
+					"direct os.%s bypasses the crash-safe write path; use internal/fsutil (annotate //onex:rawfs <reason> if this write need not survive a crash)",
+					name)
+				direct = true
+			}
+			if name == "Rename" {
+				renames = append(renames, rename{call: call, direct: direct})
+			}
+		}
+		return true
+	})
+	for _, r := range renames {
+		if r.direct {
+			continue // one finding per call is enough
+		}
+		synced := false
+		for _, s := range syncs {
+			if s < r.call.Pos() {
+				synced = true
+				break
+			}
+		}
+		if !synced {
+			pass.Reportf(r.call.Pos(),
+				"os.Rename without a preceding (*os.File).Sync in this function: the rename may commit un-synced data (annotate //onex:rawfs <reason> if the data is synced elsewhere)")
+		}
+	}
+}
+
+// isOSFile reports whether e's static type is *os.File.
+func isOSFile(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ptr, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "File" && obj.Pkg() != nil && obj.Pkg().Path() == "os"
+}

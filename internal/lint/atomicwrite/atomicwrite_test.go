@@ -1,0 +1,35 @@
+package atomicwrite_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/atomicwrite"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicwrite(t *testing.T) {
+	linttest.Run(t, "testdata", atomicwrite.Analyzer, "atomicwrite")
+}
+
+// TestFsutilSyncRule runs the fixture whose package path ends in
+// internal/fsutil: there the direct-call ban is lifted (it is the blessed
+// implementation) but renames must still be preceded by an fsync.
+func TestFsutilSyncRule(t *testing.T) {
+	linttest.Run(t, "testdata", atomicwrite.Analyzer, "internal/fsutil")
+}
+
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/store":    true,
+		"repro/internal/grouping": true,
+		"repro/internal/replica":  true,
+		"repro/internal/ts":       true,
+		"repro/internal/fsutil":   true,
+		"repro/internal/core":     false,
+		"repro/cmd/onexload":      false,
+	} {
+		if got := atomicwrite.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

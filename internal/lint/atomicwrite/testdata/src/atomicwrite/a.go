@@ -1,0 +1,37 @@
+package a
+
+import "os"
+
+func directCreate(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the crash-safe write path`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func directWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile bypasses the crash-safe write path`
+}
+
+func directRename(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want `direct os\.Rename bypasses the crash-safe write path`
+}
+
+func annotatedScratchWrite(path string, data []byte) error {
+	//onex:rawfs scratch output for a bench harness; a torn file is re-generated on next run
+	return os.WriteFile(path, data, 0o644)
+}
+
+func annotatedRename(oldPath, newPath string) error {
+	//onex:rawfs both paths are temp files inside an already-synced commit
+	return os.Rename(oldPath, newPath)
+}
+
+func readingIsFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
+
+func openForAppendIsFine(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+}

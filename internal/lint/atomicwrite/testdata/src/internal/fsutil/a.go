@@ -1,0 +1,31 @@
+// Package fsutil mirrors the real blessed-write-path package: direct os
+// calls are allowed here, but a rename that commits data must still be
+// preceded by an fsync.
+package fsutil
+
+import "os"
+
+func atomicReplace(tmp *os.File, path string) error {
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func unsyncedReplace(tmp *os.File, path string) error {
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path) // want `os\.Rename without a preceding \(\*os\.File\)\.Sync`
+}
+
+func annotatedUnsyncedReplace(tmp *os.File, path string) error {
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	//onex:rawfs the caller synced the file before handing it over
+	return os.Rename(tmp.Name(), path)
+}

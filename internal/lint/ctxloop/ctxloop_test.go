@@ -1,0 +1,26 @@
+package ctxloop_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxloop"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxloop(t *testing.T) {
+	linttest.Run(t, "testdata", ctxloop.Analyzer, "ctxloop")
+}
+
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/core":    true,
+		"repro/internal/replica": true,
+		"repro/internal/server":  true,
+		"repro/internal/dist":    false,
+		"repro/onex":             false,
+	} {
+		if got := ctxloop.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

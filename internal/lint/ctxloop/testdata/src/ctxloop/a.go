@@ -1,0 +1,109 @@
+package a
+
+import "context"
+
+type group struct {
+	Members []int
+}
+
+func polls(ctx context.Context, groups []group) int {
+	n := 0
+	for _, g := range groups {
+		if err := ctx.Err(); err != nil {
+			return -1
+		}
+		n += len(g.Members)
+	}
+	return n
+}
+
+func pollsDone(ctx context.Context, groups []group) int {
+	n := 0
+	for _, g := range groups {
+		select {
+		case <-ctx.Done():
+			return -1
+		default:
+		}
+		n += len(g.Members)
+	}
+	return n
+}
+
+func pollsPerStride(ctx context.Context, members []int) int {
+	n := 0
+	for mi, m := range members {
+		if mi%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return -1
+			}
+		}
+		n += m
+	}
+	return n
+}
+
+func passesContextOn(ctx context.Context, groups []group) int {
+	n := 0
+	for _, g := range groups { // the callee is itself subject to the check
+		n += scanGroup(ctx, g)
+	}
+	return n
+}
+
+func scanGroup(ctx context.Context, g group) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return len(g.Members)
+}
+
+func missesPoll(ctx context.Context, groups []group) int {
+	n := 0
+	for _, g := range groups { // want `range over groups does not poll`
+		n += len(g.Members)
+	}
+	return n
+}
+
+func missesPollMembers(ctx context.Context, g group) int {
+	n := 0
+	for _, m := range g.Members { // want `range over g\.Members does not poll`
+		n += m
+	}
+	return n
+}
+
+func noContextAtAll(groups []group) int {
+	n := 0
+	for _, g := range groups { // want `range over groups does not poll`
+		n += len(g.Members)
+	}
+	return n
+}
+
+func annotated(groups []group) int {
+	n := 0
+	//onex:nopoll O(1) accumulation; fixture demonstrates the escape hatch
+	for _, g := range groups {
+		n += len(g.Members)
+	}
+	return n
+}
+
+func annotatedWithoutReason(groups []group) int {
+	n := 0
+	//onex:nopoll // want `annotation requires a reason`
+	for _, g := range groups {
+		n += len(g.Members)
+	}
+	return n
+}
+
+func unrelatedLoop(values []int) int {
+	n := 0
+	for _, v := range values { // not a group/member walk
+		n += v
+	}
+	return n
+}

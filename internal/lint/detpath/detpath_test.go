@@ -1,0 +1,25 @@
+package detpath_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/detpath"
+	"repro/internal/lint/linttest"
+)
+
+func TestDetpath(t *testing.T) {
+	linttest.Run(t, "testdata", detpath.Analyzer, "detpath")
+}
+
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/dist":   true,
+		"repro/internal/core":   true,
+		"repro/internal/server": false,
+		"repro/onex":            false,
+	} {
+		if got := detpath.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t := time.Now() // want `time\.Now in a scoring/pruning package`
+	return t.Unix()
+}
+
+func wallDuration(start time.Time) float64 {
+	return time.Since(start).Seconds() // want `time\.Since in a scoring/pruning package`
+}
+
+func annotatedWallClock() time.Time {
+	//onex:wallclock stats-only: feeds SearchStats.WallTime, never a score
+	return time.Now()
+}
+
+func globalRand(n int) int {
+	return rand.Intn(n) // want `math/rand\.Intn uses the global random source`
+}
+
+func globalShuffle(xs []int) {
+	//onex:nopoll wrong directive for this analyzer; it does not suppress detpath
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `math/rand\.Shuffle uses the global random source`
+}
+
+func seededRand(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed)) // constructing the seeded source is the fix
+	return rng.Intn(n)
+}
+
+func mapOrderIntoSlice(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m { // want `map iteration feeds an ordered output`
+		out = append(out, v)
+	}
+	return out
+}
+
+func mapOrderIntoChannel(m map[string]float64, ch chan float64) {
+	for _, v := range m { // want `map iteration feeds an ordered output`
+		ch <- v
+	}
+}
+
+func mapOrderIntoIndexedSlice(m map[int]float64, out []float64) {
+	for k, v := range m { // want `map iteration feeds an ordered output`
+		out[k] = v
+	}
+}
+
+func annotatedMapOrder(m map[string]float64) []float64 {
+	var out []float64
+	//onex:detorder out is sorted below before anything consumes it
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func mapReduction(m map[string]float64) float64 {
+	sum := 0.0
+	for _, v := range m { // order-free reduction: not flagged
+		sum += v
+	}
+	return sum
+}
+
+func timeConstructionIsFine(sec int64) time.Time {
+	return time.Unix(sec, 0) // deterministic: built from an argument, not the clock
+}

@@ -1,0 +1,168 @@
+// Package keyinject enforces the cache-key injectivity rules from the PR 6
+// serving tier: internal/servecache's canonicalizers must produce one key
+// per semantically distinct request (or a stale result is served as fresh)
+// and the same key every time (or the hit rate collapses). Concretely:
+// floats are hex-encoded, strings are quoted, lists are length-prefixed,
+// and nothing iterates a map.
+package keyinject
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags the four ways a canonicalizer edit can silently break
+// injectivity: lossy fmt verbs, decimal float formatting, map iteration,
+// and unquoted dynamic strings written into the key. Annotate deliberate
+// exceptions with //onex:keyok <reason>.
+var Analyzer = &lint.Analyzer{
+	Name:      "keyinject",
+	Directive: "keyok",
+	Doc: `check cache-key canonicalizers for injectivity hazards
+
+Inside internal/servecache: no fmt formatting with %v/%g/%e/%f (lossy or
+representation-unstable), no strconv.FormatFloat/AppendFloat except with
+the 'x' or 'b' formats (decimal shortest-form rounds), no range over a
+map (iteration order would randomize the key), and strings.Builder
+writes must be literals, constants, or strconv-quoted/encoded values —
+never raw user strings (separator injection). Annotate deliberate
+exceptions with //onex:keyok <reason>.`,
+	Match: lint.MatchAny("internal/servecache"),
+	Run:   run,
+}
+
+// lossyVerbRe matches fmt verbs that are not injective across values or
+// not stable across representations: %v family, decimal floats.
+var lossyVerbRe = regexp.MustCompile(`%[-+# 0-9.*\[\]]*[vgefGEF]`)
+
+// printfFamily lists fmt functions whose first-or-second argument is a
+// format string.
+var printfFamily = map[string]int{ // name -> format-string arg index
+	"Sprintf": 0, "Printf": 0, "Errorf": 0, "Appendf": 1, "Fprintf": 1,
+}
+
+func run(pass *lint.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypesInfo.TypeOf(v.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(v.For,
+							"range over a map in a cache-key package: iteration order would randomize the key (annotate //onex:keyok <reason> if order cannot reach the key)")
+					}
+				}
+			case *ast.CallExpr:
+				checkCall(pass, v)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr) {
+	// Rule 1: lossy fmt verbs.
+	for name, argIdx := range printfFamily {
+		if !lint.PkgFuncCall(pass.TypesInfo, call, "fmt", name) || len(call.Args) <= argIdx {
+			continue
+		}
+		if lit := stringLit(pass.TypesInfo, call.Args[argIdx]); lit != "" {
+			if verb := lossyVerbRe.FindString(lit); verb != "" {
+				pass.Reportf(call.Pos(),
+					"fmt verb %q is not injectivity-safe for cache keys: use hex floats (strconv.FormatFloat 'x') and quoted strings (annotate //onex:keyok <reason> if this output cannot reach a key)", verb)
+			}
+		}
+	}
+	// Rule 2: decimal float formatting.
+	for _, name := range []string{"FormatFloat", "AppendFloat"} {
+		if !lint.PkgFuncCall(pass.TypesInfo, call, "strconv", name) {
+			continue
+		}
+		fmtArg := 1
+		if name == "AppendFloat" {
+			fmtArg = 2
+		}
+		if len(call.Args) <= fmtArg {
+			continue
+		}
+		if b, ok := byteLit(pass.TypesInfo, call.Args[fmtArg]); !ok || (b != 'x' && b != 'b') {
+			pass.Reportf(call.Pos(),
+				"strconv.%s must use the 'x' (or 'b') format in cache-key code: decimal shortest-form is not injective on all float64 bit patterns (annotate //onex:keyok <reason> if this value cannot reach a key)", name)
+		}
+	}
+	// Rule 3: unquoted dynamic strings into a strings.Builder.
+	if recv, ok := lint.MethodCallNamed(call, "WriteString"); ok && isStringsBuilder(pass.TypesInfo, recv) && len(call.Args) == 1 {
+		if !injectiveStringArg(pass, call.Args[0]) {
+			pass.Reportf(call.Pos(),
+				"dynamic string written into a cache key without quoting: pass it through strconv.Quote or a strconv encoder so separators cannot be injected (annotate //onex:keyok <reason> if the value is trusted)")
+		}
+	}
+}
+
+// injectiveStringArg reports whether e is safe to splice into a key:
+// a compile-time constant, or a call into strconv's quoting/encoding
+// functions (whose own arguments are checked by the other rules).
+func injectiveStringArg(pass *lint.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		return true // constant, including literals
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, name := range []string{
+		"Quote", "QuoteToASCII", "Itoa", "FormatInt", "FormatUint", "FormatBool", "FormatFloat",
+	} {
+		if lint.PkgFuncCall(pass.TypesInfo, call, "strconv", name) {
+			return true
+		}
+	}
+	return false
+}
+
+func isStringsBuilder(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Builder" && obj.Pkg() != nil && obj.Pkg().Path() == "strings"
+}
+
+// stringLit returns the value of a constant string expression, or "".
+func stringLit(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[ast.Unparen(e)]; ok && tv.Value != nil {
+		if s, err := strconv.Unquote(tv.Value.ExactString()); err == nil {
+			return s
+		}
+	}
+	return ""
+}
+
+// byteLit returns the value of a constant byte/rune expression.
+func byteLit(info *types.Info, e ast.Expr) (byte, bool) {
+	tv, ok := info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	if v, err := strconv.Unquote(tv.Value.ExactString()); err == nil && len(v) == 1 {
+		return v[0], true
+	}
+	if v, err := strconv.Atoi(tv.Value.ExactString()); err == nil && v >= 0 && v < 256 {
+		return byte(v), true
+	}
+	return 0, false
+}

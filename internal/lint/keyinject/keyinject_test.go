@@ -1,0 +1,24 @@
+package keyinject_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/keyinject"
+	"repro/internal/lint/linttest"
+)
+
+func TestKeyinject(t *testing.T) {
+	linttest.Run(t, "testdata", keyinject.Analyzer, "keyinject")
+}
+
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/internal/servecache": true,
+		"repro/internal/server":     false,
+		"repro/internal/core":       false,
+	} {
+		if got := keyinject.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

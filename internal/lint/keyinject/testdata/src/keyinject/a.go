@@ -1,0 +1,63 @@
+package a
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func lossyVerbs(x any, f float64) {
+	_ = fmt.Sprintf("%v", x)        // want `fmt verb "%v" is not injectivity-safe`
+	_ = fmt.Sprintf("%g", f)        // want `fmt verb "%g" is not injectivity-safe`
+	_ = fmt.Sprintf("%+v", x)       // want `fmt verb "%\+v" is not injectivity-safe`
+	_ = fmt.Sprintf("%.17e", f)     // want `fmt verb "%\.17e" is not injectivity-safe`
+	_ = fmt.Sprintf("%d|%s", 1, "") // integers and plain strings are fine here; quoting is rule 3's concern
+	_ = fmt.Errorf("%w", errDummy)  // errors are not keys
+}
+
+var errDummy = fmt.Errorf("x")
+
+func floatFormats(f float64) {
+	_ = strconv.FormatFloat(f, 'g', -1, 64) // want `strconv\.FormatFloat must use the 'x'`
+	_ = strconv.FormatFloat(f, 'f', 6, 64)  // want `strconv\.FormatFloat must use the 'x'`
+	_ = strconv.FormatFloat(f, 'x', -1, 64)
+	_ = strconv.AppendFloat(nil, f, 'e', -1, 64) // want `strconv\.AppendFloat must use the 'x'`
+	_ = strconv.AppendFloat(nil, f, 'x', -1, 64)
+}
+
+func mapIteration(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `range over a map in a cache-key package`
+		n += v
+	}
+	return n
+}
+
+func annotatedMapIteration(m map[string]int) int {
+	n := 0
+	//onex:keyok pure reduction; neither order nor result reaches a key
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func builderWrites(b *strings.Builder, user string, k int) {
+	b.WriteString("tag=")                // literal: fine
+	b.WriteString(strconv.Quote(user))   // quoted: fine
+	b.WriteString(strconv.Itoa(k))       // integer encoding: fine
+	b.WriteString(user)                  // want `dynamic string written into a cache key without quoting`
+	b.WriteString(user + "|")            // want `dynamic string written into a cache key without quoting`
+	b.WriteString(strings.ToLower(user)) // want `dynamic string written into a cache key without quoting`
+}
+
+func annotatedBuilderWrite(b *strings.Builder, trusted string) {
+	//onex:keyok trusted is a package-internal enum value, never request data
+	b.WriteString(trusted)
+}
+
+const prefix = "q1"
+
+func constWrite(b *strings.Builder) {
+	b.WriteString(prefix) // constants are fine
+}

@@ -1,0 +1,296 @@
+// Package lint is a dependency-free miniature of golang.org/x/tools'
+// go/analysis framework, just large enough to host ONEX's project-specific
+// invariant checkers (cmd/onexvet). The repo is intentionally zero-dep, so
+// instead of importing x/tools the package re-implements the three pieces
+// onexvet needs: an Analyzer/Pass/Diagnostic vocabulary (lint.go), a
+// package loader that type-checks the module with only the standard
+// library (load.go), and a driver with x/tools-compatible JSON output
+// (run.go). Fixture-based tests live in the sibling linttest package.
+//
+// # Annotations
+//
+// Every analyzer has an escape hatch: a line comment of the form
+//
+//	//onex:<directive> <reason>
+//
+// on the flagged line (or the line directly above it) suppresses the
+// diagnostic. The reason is mandatory — an annotation without one is
+// itself reported — so every suppression documents why the invariant does
+// not apply. The directives are:
+//
+//	//onex:nopoll    <why this group/member walk may skip ctx polling>
+//	//onex:rawfs     <why this write may bypass internal/fsutil>
+//	//onex:locksafe  <why this same-receiver call cannot self-deadlock>
+//	//onex:keyok     <why this unquoted write keeps the key injective>
+//	//onex:wallclock <why this time.Now is not on a scoring path>
+//	//onex:detorder  <why this map iteration cannot reach ordered output>
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output.
+	Name string
+	// Doc is the one-paragraph description printed by onexvet -help.
+	Doc string
+	// Directive is the annotation suffix (e.g. "nopoll" for //onex:nopoll)
+	// that suppresses this analyzer's diagnostics. Empty means the analyzer
+	// has no escape hatch.
+	Directive string
+	// MoreDirectives lists additional annotation suffixes the analyzer owns
+	// (used with Pass.ReportfDirective); their reasons are validated here
+	// too.
+	MoreDirectives []string
+	// Match reports whether the analyzer applies to a package import path.
+	// The driver consults it; test harnesses run analyzers unconditionally.
+	Match func(pkgPath string) bool
+	// Run reports diagnostics for one package via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg and TypesInfo hold the go/types results. TypesInfo is always
+	// non-nil; its maps are populated (Types, Defs, Uses, Selections).
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags       []Diagnostic
+	annotations map[int]*annotation // line -> directive, per current run
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+type annotation struct {
+	directive string
+	reason    string
+	line      int
+}
+
+// Reportf records a diagnostic at pos unless an //onex:<Directive>
+// annotation on the same line or the line above suppresses it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.ReportfDirective(p.Analyzer.Directive, pos, format, args...)
+}
+
+// ReportfDirective is Reportf with an explicit suppressing directive, for
+// analyzers that host more than one annotation (detpath's wallclock and
+// detorder).
+func (p *Pass) ReportfDirective(directive string, pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if a := p.annotationFor(position.Line); a != nil && a.directive == directive {
+		return // suppressed; reason presence is validated in collectAnnotations
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// annotationFor returns the annotation covering line: one written on the
+// line itself or on the line directly above it.
+func (p *Pass) annotationFor(line int) *annotation {
+	if a, ok := p.annotations[line]; ok {
+		return a
+	}
+	if a, ok := p.annotations[line-1]; ok {
+		return a
+	}
+	return nil
+}
+
+// directivePrefix introduces a lint annotation comment.
+const directivePrefix = "//onex:"
+
+// knownDirectives lists every valid annotation suffix; an //onex: comment
+// outside this set is reported as a typo rather than silently ignored.
+var knownDirectives = map[string]bool{
+	"nopoll":    true,
+	"rawfs":     true,
+	"locksafe":  true,
+	"keyok":     true,
+	"wallclock": true,
+	"detorder":  true,
+}
+
+// collectAnnotations indexes //onex: directives by line and validates them:
+// unknown directive names and reason-less annotations are themselves
+// diagnostics (attributed to the running analyzer only when it owns the
+// directive, so each problem is reported exactly once by the driver).
+func (p *Pass) collectAnnotations(validate bool) {
+	p.annotations = make(map[int]*annotation)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				directive, reason, _ := strings.Cut(rest, " ")
+				reason, _, _ = strings.Cut(reason, "//") // trailing comment is not a reason
+				line := p.Fset.Position(c.Pos()).Line
+				a := &annotation{directive: directive, reason: strings.TrimSpace(reason), line: line}
+				p.annotations[line] = a
+				owned := directive == p.Analyzer.Directive
+				for _, d := range p.Analyzer.MoreDirectives {
+					owned = owned || directive == d
+				}
+				if !validate || !owned {
+					continue
+				}
+				if a.reason == "" {
+					p.diags = append(p.diags, Diagnostic{
+						Pos:      p.Fset.Position(c.Pos()),
+						Analyzer: p.Analyzer.Name,
+						Message:  fmt.Sprintf("//onex:%s annotation requires a reason", directive),
+					})
+				}
+			}
+		}
+	}
+}
+
+// validateDirectiveNames reports //onex: comments whose directive is not a
+// known annotation. It runs once per package (not per analyzer).
+func validateDirectiveNames(fset *token.FileSet, files []*ast.File) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(c.Text, directivePrefix)
+				directive, _, _ := strings.Cut(rest, " ")
+				if !knownDirectives[directive] {
+					out = append(out, Diagnostic{
+						Pos:      fset.Position(c.Pos()),
+						Analyzer: "annotations",
+						Message:  fmt.Sprintf("unknown annotation //onex:%s (known: nopoll, rawfs, locksafe, keyok, wallclock, detorder)", directive),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzer applies one analyzer to one loaded package and returns its
+// diagnostics sorted by position. Match is not consulted.
+func RunAnalyzer(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	pass := &Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	pass.collectAnnotations(true)
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sortDiagnostics(pass.diags)
+	return pass.diags, nil
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// ---- shared AST helpers used by more than one analyzer ----
+
+// IsContextExpr reports whether e's static type is context.Context.
+func IsContextExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// PkgFuncCall reports whether call is pkgPath.name(...) — a call of a
+// package-level function resolved through the type information (so import
+// aliasing and shadowing are handled).
+func PkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// MethodCallNamed reports whether call invokes a method named name and, if
+// so, returns its receiver expression.
+func MethodCallNamed(call *ast.CallExpr, name string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// HasSuffixPath reports whether pkgPath is path or ends in "/"+path —
+// matching both the real module layout ("repro/internal/core") and bare
+// fixture paths ("internal/core").
+func HasSuffixPath(pkgPath, path string) bool {
+	return pkgPath == path || strings.HasSuffix(pkgPath, "/"+path)
+}
+
+// MatchAny builds an Analyzer.Match from package path suffixes.
+func MatchAny(paths ...string) func(string) bool {
+	return func(pkgPath string) bool {
+		for _, p := range paths {
+			if HasSuffixPath(pkgPath, p) {
+				return true
+			}
+		}
+		return false
+	}
+}

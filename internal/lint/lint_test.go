@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestValidateDirectiveNames(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+//onex:nopoll fine, known
+var a int
+
+//onex:nosuchthing whatever
+var b int
+
+//onex:wallclock reasons
+var c int
+`)
+	diags := validateDirectiveNames(fset, files)
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "nosuchthing") {
+		t.Errorf("diagnostic %q does not name the unknown directive", diags[0].Message)
+	}
+}
+
+func TestAnnotationSuppressionAndReasons(t *testing.T) {
+	fset, files := parseOne(t, `package p
+
+func f() {
+	var x int
+	//onex:nopoll covered by the outer poll
+	x++
+	//onex:nopoll
+	x++
+	//onex:rawfs a different directive does not suppress
+	x++
+	_ = x
+}
+`)
+	a := &Analyzer{Name: "test", Directive: "nopoll", Run: func(p *Pass) error { return nil }}
+	pass := &Pass{Analyzer: a, Fset: fset, Files: files}
+	pass.collectAnnotations(true)
+	if len(pass.diags) != 1 || !strings.Contains(pass.diags[0].Message, "requires a reason") {
+		t.Fatalf("reason validation: got %v, want one requires-a-reason diagnostic", pass.diags)
+	}
+
+	// Line 6 (x++ under the reasoned annotation) suppressed; line 8
+	// (reason-less, still a matching directive) suppressed — the
+	// requires-a-reason diagnostic is the enforcement; line 10 (other
+	// directive) reported.
+	report := func(line int) {
+		var pos token.Pos
+		ast.Inspect(files[0], func(n ast.Node) bool {
+			if n != nil && fset.Position(n.Pos()).Line == line && pos == token.NoPos {
+				pos = n.Pos()
+			}
+			return true
+		})
+		if pos == token.NoPos {
+			t.Fatalf("no node on line %d", line)
+		}
+		pass.Reportf(pos, "finding on line %d", line)
+	}
+	before := len(pass.diags)
+	report(6)
+	report(8)
+	if len(pass.diags) != before {
+		t.Errorf("annotated lines were not suppressed: %v", pass.diags[before:])
+	}
+	report(10)
+	if len(pass.diags) != before+1 {
+		t.Errorf("differently-annotated line was suppressed")
+	}
+}
+
+func TestWriteJSONShape(t *testing.T) {
+	res := &Result{
+		ByPackage: map[string]map[string][]Diagnostic{
+			"repro/internal/core": {
+				"ctxloop": {{
+					Pos:      token.Position{Filename: "engine.go", Line: 3, Column: 2},
+					Analyzer: "ctxloop",
+					Message:  "m",
+				}},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not the expected JSON shape: %v\n%s", err, buf.String())
+	}
+	got := decoded["repro/internal/core"]["ctxloop"]
+	if len(got) != 1 || got[0].Posn != "engine.go:3:2" || got[0].Message != "m" {
+		t.Errorf("unexpected JSON payload: %s", buf.String())
+	}
+}
+
+func TestHasSuffixPath(t *testing.T) {
+	for _, tc := range []struct {
+		path, suffix string
+		want         bool
+	}{
+		{"repro/internal/core", "internal/core", true},
+		{"internal/core", "internal/core", true},
+		{"repro/internal/corex", "internal/core", false},
+		{"repro/xinternal/core", "internal/core", false},
+		{"repro/onex", "onex", true},
+		{"repro/onexload", "onex", false},
+	} {
+		if got := HasSuffixPath(tc.path, tc.suffix); got != tc.want {
+			t.Errorf("HasSuffixPath(%q, %q) = %v, want %v", tc.path, tc.suffix, got, tc.want)
+		}
+	}
+}
+
+// TestLoaderSmoke type-checks one real module package offline (standard
+// library via the source importer) and runs a trivial analyzer over it
+// through the driver, exercising Load, Match routing, and RunAnalyzer.
+func TestLoaderSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the source importer; skipped in -short")
+	}
+	seen := 0
+	a := &Analyzer{
+		Name:      "count",
+		Directive: "nopoll",
+		Match:     MatchAny("internal/fsutil"),
+		Run: func(p *Pass) error {
+			if p.Pkg.Path() != "repro/internal/fsutil" {
+				t.Errorf("unexpected package %q", p.Pkg.Path())
+			}
+			if p.TypesInfo == nil || len(p.TypesInfo.Defs) == 0 {
+				t.Errorf("no type information populated")
+			}
+			seen++
+			return nil
+		},
+	}
+	res, err := Run("../..", []*Analyzer{a}, "./internal/fsutil")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if seen != 1 {
+		t.Errorf("analyzer ran %d times, want 1", seen)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Errorf("unexpected diagnostics: %v", res.Diagnostics)
+	}
+}

@@ -1,0 +1,119 @@
+// Package linttest runs lint analyzers over testdata fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: fixture files under
+// testdata/src/<pkg>/ carry `// want "regexp"` comments on the lines where
+// diagnostics are expected, and the harness fails the test on any missed or
+// unexpected finding. Fixtures may import only the standard library (they
+// are type-checked with the offline source importer).
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// wantRe matches one expectation inside a `// want` comment.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run applies a to the fixture package at testdata/src/<pkg> beneath dir
+// (usually analysistest-style: linttest.Run(t, "testdata", analyzer,
+// "fixturepkg")) and compares diagnostics against the fixture's `// want`
+// comments. The analyzer's Match function is NOT consulted: fixtures
+// exercise Run directly, scope routing is the driver's concern.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkg string) {
+	t.Helper()
+	fixtureDir := filepath.Join(dir, "src", pkg)
+	entries, err := os.ReadDir(fixtureDir)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, e.Name())
+		}
+	}
+	sort.Strings(filenames)
+	if len(filenames) == 0 {
+		t.Fatalf("linttest: no fixture files in %s", fixtureDir)
+	}
+	fset := token.NewFileSet()
+	loaded, err := lint.ParseDir(fset, fixtureDir, pkg, filenames)
+	if err != nil {
+		t.Fatalf("linttest: loading fixture %s: %v", fixtureDir, err)
+	}
+	diags, err := lint.RunAnalyzer(a, loaded)
+	if err != nil {
+		t.Fatalf("linttest: running %s: %v", a.Name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, name := range filenames {
+		full := filepath.Join(fixtureDir, name)
+		data, err := os.ReadFile(full)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			_, spec, ok := strings.Cut(lineText, "// want ")
+			if !ok {
+				continue
+			}
+			k := key{file: full, line: i + 1}
+			matches := wantRe.FindAllStringSubmatch(spec, -1)
+			if len(matches) == 0 {
+				t.Errorf("%s:%d: malformed want comment: %q", full, k.line, spec)
+				continue
+			}
+			for _, m := range matches {
+				pat := m[1]
+				if m[2] != "" || pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Errorf("%s:%d: bad want pattern %q: %v", full, k.line, pat, err)
+					continue
+				}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{file: d.Pos.Filename, line: d.Pos.Line}
+		idx := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+			continue
+		}
+		wants[k] = append(wants[k][:idx], wants[k][idx+1:]...)
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %s", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("%s", l)
+	}
+}

@@ -1,0 +1,210 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader consumes.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+}
+
+// Loader type-checks module packages using only the standard library: `go
+// list` supplies the file sets, and imports outside the module are resolved
+// by compiling the standard library from source (go/importer "source"),
+// which works offline. Test files are not loaded — the invariants onexvet
+// guards live in production code, and skipping them keeps the source
+// importer's working set to the module's real dependency cone.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir    string // module root the go commands run in
+	std    types.Importer
+	listed map[string]*listedPkg
+	loaded map[string]*Package
+	module string // module path, e.g. "repro"
+}
+
+// NewLoader returns a loader rooted at the module containing dir.
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		dir:    dir,
+		std:    importer.ForCompiler(fset, "source", nil),
+		listed: make(map[string]*listedPkg),
+		loaded: make(map[string]*Package),
+	}
+}
+
+// Load resolves the go-list patterns (e.g. "./...") and returns the matched
+// packages, type-checked, in deterministic import-path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if l.module == "" {
+		out, err := l.goList("list", "-m", "-f", "{{.Path}}")
+		if err != nil {
+			return nil, err
+		}
+		l.module = strings.TrimSpace(string(out))
+	}
+	args := append([]string{"list", "-e", "-json=ImportPath,Dir,GoFiles,Imports"}, patterns...)
+	out, err := l.goList(args...)
+	if err != nil {
+		return nil, err
+	}
+	var roots []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		l.listed[p.ImportPath] = &p
+		roots = append(roots, p.ImportPath)
+	}
+	sort.Strings(roots)
+	pkgs := make([]*Package, 0, len(roots))
+	for _, path := range roots {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func (l *Loader) goList(args ...string) ([]byte, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	return out, nil
+}
+
+// load type-checks one module package, memoized, recursing into its
+// module-internal imports first.
+func (l *Loader) load(path string) (*Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		return pkg, nil
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		// An import of a module package that the initial pattern did not
+		// match (e.g. loading ./internal/server pulls in ./internal/core):
+		// list it on demand.
+		out, err := l.goList("list", "-e", "-json=ImportPath,Dir,GoFiles,Imports", path)
+		if err != nil {
+			return nil, err
+		}
+		var p listedPkg
+		if err := json.Unmarshal(out, &p); err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output for %s: %w", path, err)
+		}
+		lp = &p
+		l.listed[path] = lp
+	}
+	files := make([]*ast.File, 0, len(lp.GoFiles))
+	for _, name := range lp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path:      path,
+		Dir:       lp.Dir,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter routes module-internal imports back through the loader and
+// everything else (the standard library) to the source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// ParseDir parses and type-checks a directory of Go files as one package
+// whose imports must resolve from the standard library alone. It is the
+// fixture-loading path used by linttest; path becomes the package path seen
+// by analyzers.
+func ParseDir(fset *token.FileSet, dir, path string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path, Dir: dir, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}

@@ -1,0 +1,264 @@
+// Package lockorder enforces ONEX's locking discipline on the
+// mutex-holding service types (onex.DB, server.Server, store.FileStore,
+// replica.Follower, servecache.Cache): a method that holds the receiver's
+// mutex must not call another method of the same receiver that re-acquires
+// it (sync.Mutex self-deadlocks; recursive RLock deadlocks against a
+// queued writer), mutexes must not be copied via value receivers, and
+// mutexes must not leak out of their package by pointer.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer flags lock-reentrancy hazards on mutex-holding types. The
+// held-state tracking is lexical and flow-insensitive: within a method
+// body, a non-deferred Lock/RLock on a receiver mutex field marks it held
+// until a non-deferred Unlock/RUnlock on the same field; calling a method
+// of the same receiver that itself acquires that field while it is marked
+// held is a diagnostic. Annotate false positives (e.g. a call that is
+// provably unreachable while locked) with //onex:locksafe <reason>.
+var Analyzer = &lint.Analyzer{
+	Name:      "lockorder",
+	Directive: "locksafe",
+	Doc: `check mutex-holding types for self-deadlock and lock leaks
+
+For every named struct type with a sync.Mutex or sync.RWMutex field:
+methods may not call other methods of the same receiver that re-acquire a
+mutex the caller still holds; methods may not use a value receiver (which
+copies the mutex); and functions may not return a pointer to a mutex
+field. Annotate deliberate exceptions with //onex:locksafe <reason>.`,
+	Match: lint.MatchAny("onex", "internal/server", "internal/store", "internal/replica", "internal/servecache"),
+	Run:   run,
+}
+
+// mutexKind reports whether t is sync.Mutex or sync.RWMutex.
+func mutexKind(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// methodInfo records one method body and which mutex fields it acquires.
+type methodInfo struct {
+	decl     *ast.FuncDecl
+	recvObj  types.Object    // the receiver variable
+	valueRcv bool            // receiver is by value (copies the lock)
+	acquires map[string]bool // mutex field names this method Lock/RLocks (non-deferred anywhere)
+}
+
+func run(pass *lint.Pass) error {
+	// Mutex-holding named struct types of this package -> their mutex field names.
+	lockFields := map[string]map[string]bool{} // type name -> field set
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			if mutexKind(f.Type()) {
+				if lockFields[name] == nil {
+					lockFields[name] = map[string]bool{}
+				}
+				lockFields[name][f.Name()] = true
+			}
+		}
+	}
+	if len(lockFields) == 0 {
+		checkLeaks(pass)
+		return nil
+	}
+
+	// Collect methods per mutex-holding type.
+	methods := map[string]map[string]*methodInfo{} // type name -> method name -> info
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) != 1 || fn.Body == nil {
+				continue
+			}
+			recvType := fn.Recv.List[0].Type
+			valueRcv := true
+			if star, ok := recvType.(*ast.StarExpr); ok {
+				recvType = star.X
+				valueRcv = false
+			}
+			id, ok := recvType.(*ast.Ident)
+			if !ok {
+				continue // generic receivers don't occur in this module
+			}
+			fields, ok := lockFields[id.Name]
+			if !ok {
+				continue
+			}
+			var recvObj types.Object
+			if names := fn.Recv.List[0].Names; len(names) == 1 {
+				recvObj = pass.TypesInfo.Defs[names[0]]
+			}
+			mi := &methodInfo{decl: fn, recvObj: recvObj, valueRcv: valueRcv, acquires: map[string]bool{}}
+			if recvObj != nil {
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if _, ok := n.(*ast.DeferStmt); ok {
+						return false // deferred acquires run at exit; ignore
+					}
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if field, op, ok := mutexOp(pass, call, recvObj); ok && (op == "Lock" || op == "RLock") && fields[field] {
+						mi.acquires[field] = true
+					}
+					return true
+				})
+			}
+			if methods[id.Name] == nil {
+				methods[id.Name] = map[string]*methodInfo{}
+			}
+			methods[id.Name][fn.Name.Name] = mi
+		}
+	}
+
+	for typeName, byName := range methods {
+		for _, mi := range byName {
+			if mi.valueRcv {
+				pass.Reportf(mi.decl.Pos(),
+					"method %s.%s uses a value receiver, copying its sync mutex; use a pointer receiver",
+					typeName, mi.decl.Name.Name)
+			}
+			if mi.recvObj == nil {
+				continue
+			}
+			checkReentry(pass, typeName, mi, byName)
+		}
+	}
+	checkLeaks(pass)
+	return nil
+}
+
+// checkReentry walks mi's body in source order, tracking which mutex
+// fields are lexically held, and reports same-receiver calls into methods
+// that re-acquire a held field.
+func checkReentry(pass *lint.Pass, typeName string, mi *methodInfo, byName map[string]*methodInfo) {
+	held := map[string]bool{}
+	ast.Inspect(mi.decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			return false // deferred unlocks release at return, not here
+		case *ast.FuncLit:
+			return false // goroutine/closure bodies run under their own schedule
+		case *ast.CallExpr:
+			if field, op, ok := mutexOp(pass, v, mi.recvObj); ok {
+				switch op {
+				case "Lock", "RLock":
+					held[field] = true
+				case "Unlock", "RUnlock":
+					held[field] = false
+				}
+				return true
+			}
+			callee, ok := sameReceiverCall(pass, v, mi.recvObj)
+			if !ok {
+				return true
+			}
+			ci, ok := byName[callee]
+			if !ok {
+				return true
+			}
+			for field := range ci.acquires {
+				if held[field] {
+					pass.Reportf(v.Pos(),
+						"%s.%s calls %s.%s while holding %s, and the callee re-acquires it: self-deadlock (annotate //onex:locksafe <reason> if the lock is provably released on this path)",
+						typeName, mi.decl.Name.Name, typeName, callee, field)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mutexOp matches recv.<field>.<op>() and returns the field and op.
+func mutexOp(pass *lint.Pass, call *ast.CallExpr, recvObj types.Object) (field, op string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+	default:
+		return "", "", false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := ast.Unparen(inner.X).(*ast.Ident)
+	if !isIdent || pass.TypesInfo.Uses[id] != recvObj {
+		return "", "", false
+	}
+	if !mutexKind(derefType(pass.TypesInfo.TypeOf(inner))) {
+		return "", "", false
+	}
+	return inner.Sel.Name, sel.Sel.Name, true
+}
+
+// sameReceiverCall matches recv.Method(...) and returns the method name.
+func sameReceiverCall(pass *lint.Pass, call *ast.CallExpr, recvObj types.Object) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	if !ok || pass.TypesInfo.Uses[id] != recvObj {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// checkLeaks flags function signatures that return a bare mutex pointer —
+// handing callers outside the type's invariant a handle on its lock.
+func checkLeaks(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Type.Results == nil {
+				continue
+			}
+			for _, res := range fn.Type.Results.List {
+				t := pass.TypesInfo.TypeOf(res.Type)
+				if t == nil {
+					continue
+				}
+				if ptr, ok := t.Underlying().(*types.Pointer); ok && mutexKind(ptr.Elem()) {
+					pass.Reportf(fn.Pos(),
+						"%s returns a *sync.%s, leaking a lock out of its owning type (annotate //onex:locksafe <reason> if intentional)",
+						fn.Name.Name, ptr.Elem().(*types.Named).Obj().Name())
+				}
+			}
+		}
+	}
+}

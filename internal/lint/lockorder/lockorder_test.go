@@ -1,0 +1,27 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata", lockorder.Analyzer, "lockorder")
+}
+
+func TestMatch(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/onex":                true,
+		"repro/internal/server":     true,
+		"repro/internal/store":      true,
+		"repro/internal/replica":    true,
+		"repro/internal/servecache": true,
+		"repro/internal/core":       false,
+	} {
+		if got := lockorder.Analyzer.Match(path); got != want {
+			t.Errorf("Match(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

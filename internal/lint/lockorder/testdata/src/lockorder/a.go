@@ -1,0 +1,109 @@
+package a
+
+import "sync"
+
+type Store struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Count acquires the mutex: calling it with mu held self-deadlocks.
+func (s *Store) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+func (s *Store) countLocked() int { return s.n }
+
+// Bad holds mu (the deferred unlock releases only at return) and calls a
+// re-acquiring method.
+func (s *Store) Bad() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.Count() // want `Store\.Bad calls Store\.Count while holding mu`
+}
+
+// BadExplicitUnlock unlocks only after the re-acquiring call.
+func (s *Store) BadExplicitUnlock() int {
+	s.mu.Lock()
+	n := s.Count() // want `Store\.BadExplicitUnlock calls Store\.Count while holding mu`
+	s.mu.Unlock()
+	return n
+}
+
+// GoodLockedHelper calls the _Locked variant, which does not re-acquire.
+func (s *Store) GoodLockedHelper() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countLocked()
+}
+
+// GoodAfterUnlock releases before the call.
+func (s *Store) GoodAfterUnlock() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	return s.Count()
+}
+
+// Annotated is the escape hatch: the call is flagged without the
+// annotation (it happens while mu is lexically held).
+func (s *Store) Annotated() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//onex:locksafe fixture-only: documents the annotation form; real code must not call Count here
+	return s.Count()
+}
+
+// BranchJoin shows the tracking is lexical, not flow-sensitive: after the
+// conditional re-lock both paths end unlocked, so no diagnostic fires.
+func (s *Store) BranchJoin() int {
+	s.mu.Lock()
+	s.mu.Unlock()
+	if s.n < 0 {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	return s.Count()
+}
+
+// ValueReceiver copies the mutex with the struct.
+func (s Store) ValueReceiver() int { // want `Store\.ValueReceiver uses a value receiver`
+	_ = s.mu
+	return s.n
+}
+
+// LeakMutex hands the lock to callers outside the invariant.
+func (s *Store) LeakMutex() *sync.Mutex { // want `LeakMutex returns a \*sync\.Mutex, leaking a lock`
+	return &s.mu
+}
+
+type Reg struct {
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// Get RLocks: recursive RLock deadlocks against a queued writer.
+func (r *Reg) Get(k string) int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.m[k]
+}
+
+func (r *Reg) BadSnapshot() int {
+	r.rw.RLock()
+	defer r.rw.RUnlock()
+	return r.Get("a") // want `Reg\.BadSnapshot calls Reg\.Get while holding rw`
+}
+
+func (r *Reg) GoodSnapshot() int {
+	r.rw.RLock()
+	n := r.m["a"]
+	r.rw.RUnlock()
+	return n + r.Get("b")
+}
+
+// Plain has no mutex; its methods are never checked.
+type Plain struct{ n int }
+
+func (p Plain) Value() int { return p.n }

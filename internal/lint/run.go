@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Result is the outcome of a driver run.
+type Result struct {
+	// Diagnostics from every analyzer, sorted by position.
+	Diagnostics []Diagnostic
+	// ByPackage groups diagnostics pkg -> analyzer -> findings, mirroring
+	// the JSON layout.
+	ByPackage map[string]map[string][]Diagnostic
+}
+
+// Run loads the patterns and applies every analyzer whose Match accepts the
+// package path, plus the package-level annotation-name validation.
+func Run(dir string, analyzers []*Analyzer, patterns ...string) (*Result, error) {
+	loader := NewLoader(dir)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{ByPackage: make(map[string]map[string][]Diagnostic)}
+	for _, pkg := range pkgs {
+		record := func(name string, diags []Diagnostic) {
+			if len(diags) == 0 {
+				return
+			}
+			res.Diagnostics = append(res.Diagnostics, diags...)
+			m := res.ByPackage[pkg.Path]
+			if m == nil {
+				m = make(map[string][]Diagnostic)
+				res.ByPackage[pkg.Path] = m
+			}
+			m[name] = append(m[name], diags...)
+		}
+		record("annotations", validateDirectiveNames(pkg.Fset, pkg.Files))
+		for _, a := range analyzers {
+			if a.Match != nil && !a.Match(pkg.Path) {
+				continue
+			}
+			diags, err := RunAnalyzer(a, pkg)
+			if err != nil {
+				return nil, err
+			}
+			record(a.Name, diags)
+		}
+	}
+	sortDiagnostics(res.Diagnostics)
+	return res, nil
+}
+
+// jsonDiagnostic matches the per-finding shape of x/tools' multichecker
+// -json output, so existing tooling that consumes `go vet -json`-style
+// findings can ingest onexvet's.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits the result in the x/tools multichecker JSON layout:
+// {"<package>": {"<analyzer>": [{"posn": ..., "message": ...}, ...]}}.
+func (r *Result) WriteJSON(w io.Writer) error {
+	out := make(map[string]map[string][]jsonDiagnostic, len(r.ByPackage))
+	for pkg, byAnalyzer := range r.ByPackage {
+		m := make(map[string][]jsonDiagnostic, len(byAnalyzer))
+		for name, diags := range byAnalyzer {
+			js := make([]jsonDiagnostic, len(diags))
+			for i, d := range diags {
+				js[i] = jsonDiagnostic{Posn: d.Pos.String(), Message: d.Message}
+			}
+			m[name] = js
+		}
+		out[pkg] = m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// WriteText emits one "file:line:col: analyzer: message" line per finding.
+func (r *Result) WriteText(w io.Writer) error {
+	for _, d := range r.Diagnostics {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -95,6 +95,7 @@ func CanonicalAnalysis(a onex.Analysis) string {
 
 func writeInt(b *strings.Builder, tag string, v int) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	b.WriteString(strconv.Itoa(v))
@@ -102,6 +103,7 @@ func writeInt(b *strings.Builder, tag string, v int) {
 
 func writeBool(b *strings.Builder, tag string, v bool) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	if v {
@@ -115,6 +117,7 @@ func writeBool(b *strings.Builder, tag string, v bool) {
 // with the key structure.
 func writeString(b *strings.Builder, tag string, v string) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	b.WriteString(strconv.Quote(v))
@@ -124,6 +127,7 @@ func writeString(b *strings.Builder, tag string, v string) {
 // every bit pattern except NaN, and it cannot contain '|' or ','.
 func writeFloat(b *strings.Builder, tag string, v float64) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	b.WriteString(strconv.FormatFloat(v, 'x', -1, 64))
@@ -134,6 +138,7 @@ func writeFloat(b *strings.Builder, tag string, v float64) {
 // differently from any non-empty list.
 func writeFloats(b *strings.Builder, tag string, vs []float64) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	b.WriteString(strconv.Itoa(len(vs)))
@@ -148,6 +153,7 @@ func writeFloats(b *strings.Builder, tag string, vs []float64) {
 
 func writeStrings(b *strings.Builder, tag string, vs []string) {
 	b.WriteByte('|')
+	//onex:keyok tag is a compile-time literal chosen by this package's canonicalizers, never request data
 	b.WriteString(tag)
 	b.WriteByte('=')
 	b.WriteString(strconv.Itoa(len(vs)))

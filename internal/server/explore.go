@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/viz"
+	"repro/onex"
 )
 
 // The explore page is the server-rendered form of the demo's Similarity
@@ -87,10 +88,16 @@ func (s *Server) handleExplore(w http.ResponseWriter, r *http.Request) {
 		data.Series = names[0]
 	}
 
-	// Overview pane.
-	groups := db.Overview(0, 8)
-	cells := make([]viz.OverviewCell, len(groups))
-	for i, g := range groups {
+	// Overview pane. The walk is context-aware, so closing the browser tab
+	// cancels it instead of leaving it running to completion.
+	ovr, err := db.Analyze(r.Context(), onex.Analysis{Kind: onex.AnalysisOverview, K: 8})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := make([]viz.OverviewCell, len(ovr.Groups))
+	//onex:nopoll rendering an already-computed overview of at most 8 tiles; the walk polled inside Analyze
+	for i, g := range ovr.Groups {
 		cells[i] = viz.OverviewCell{Rep: g.Rep, Count: g.Count,
 			Label: fmt.Sprintf("len %d · n=%d", g.Length, g.Count)}
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/viz"
+	"repro/onex"
 )
 
 func (s *Server) handleVizOverview(w http.ResponseWriter, r *http.Request) {
@@ -17,9 +18,14 @@ func (s *Server) handleVizOverview(w http.ResponseWriter, r *http.Request) {
 	}
 	length := queryInt(r, "length", 0)
 	k := queryInt(r, "k", 12)
-	groups := db.Overview(length, k)
-	cells := make([]viz.OverviewCell, len(groups))
-	for i, g := range groups {
+	res, err := db.Analyze(r.Context(), onex.Analysis{Kind: onex.AnalysisOverview, Length: max(length, 0), K: k})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	cells := make([]viz.OverviewCell, len(res.Groups))
+	//onex:nopoll rendering an already-computed overview of at most k tiles; the walk polled inside Analyze
+	for i, g := range res.Groups {
 		cells[i] = viz.OverviewCell{
 			Rep:   g.Rep,
 			Count: g.Count,

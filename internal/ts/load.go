@@ -9,6 +9,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"repro/internal/fsutil"
 )
 
 // LoadUCR reads the UCR archive text format: one series per line, fields
@@ -234,25 +236,24 @@ func LoadFile(path string) (*Dataset, error) {
 	}
 }
 
-// SaveFile writes the dataset in the format implied by the extension.
+// SaveFile writes the dataset in the format implied by the extension. The
+// write is atomic (temp file + fsync + rename via internal/fsutil), so a
+// crash mid-save leaves any previous file intact instead of a torn one.
 func SaveFile(path string, d *Dataset) error {
-	f, err := os.Create(path)
+	err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+		switch {
+		case strings.HasSuffix(path, ".csv"):
+			return SaveCSV(w, d)
+		case strings.HasSuffix(path, ".json"):
+			return SaveJSON(w, d)
+		default:
+			return SaveUCR(w, d)
+		}
+	})
 	if err != nil {
 		return fmt.Errorf("ts: SaveFile: %w", err)
 	}
-	var werr error
-	switch {
-	case strings.HasSuffix(path, ".csv"):
-		werr = SaveCSV(f, d)
-	case strings.HasSuffix(path, ".json"):
-		werr = SaveJSON(f, d)
-	default:
-		werr = SaveUCR(f, d)
-	}
-	if cerr := f.Close(); werr == nil {
-		werr = cerr
-	}
-	return werr
+	return nil
 }
 
 func baseName(path string) string {
