@@ -172,6 +172,7 @@ type openFlags struct {
 	data   *string
 	base   *string
 	store  *string
+	mmap   *bool
 	st     *float64
 	minLen *int
 	maxLen *int
@@ -187,6 +188,7 @@ func addOpenFlags(fs *flag.FlagSet) *openFlags {
 		data:   fs.String("data", "", "dataset file (required unless -store)"),
 		base:   fs.String("base", "", "previously saved base file (skips preprocessing)"),
 		store:  fs.String("store", "", "warm-open from this store directory (see 'onex snapshot'); replaces -data"),
+		mmap:   fs.Bool("mmap", false, "with -store: serve values as zero-copy views over the memory-mapped snapshot (beyond-RAM datasets page in on demand)"),
 		st:     fs.Float64("st", 0, "per-point similarity threshold in normalized units (0 = auto)"),
 		minLen: fs.Int("minlen", 0, "minimum indexed subsequence length"),
 		maxLen: fs.Int("maxlen", 0, "maximum indexed subsequence length"),
@@ -200,7 +202,10 @@ func (of *openFlags) open() (*onex.DB, error) {
 		if *of.data != "" || *of.base != "" {
 			return nil, fmt.Errorf("-store replaces -data/-base (the store holds the dataset and its index)")
 		}
-		return onex.OpenStore(*of.store, onex.Config{})
+		return onex.OpenStore(*of.store, onex.Config{MmapValues: *of.mmap})
+	}
+	if *of.mmap {
+		return nil, fmt.Errorf("-mmap needs a snapshot to map; pair it with -store")
 	}
 	if *of.data == "" {
 		return nil, fmt.Errorf("-data is required")

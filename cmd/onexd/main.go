@@ -68,6 +68,15 @@
 // replication block (applied/leader seq, lag, reconnects) and GET /metrics
 // the onex_replica_* families. -follow excludes -store and -preload: a
 // replica's state is the leader's, shipped, not built or persisted locally.
+//
+// -mmap serves datasets beyond RAM. With -store, warm restores map each
+// snapshot read-only and serve series values as zero-copy views that page
+// in on demand instead of decoding them onto the heap; with -follow,
+// shipped snapshots are spooled to disk and mapped the same way. GET
+// /healthz reports each mapped dataset's mapped and resident bytes and
+// GET /metrics grows the onex_mmap_* families. Datasets loaded cold (via
+// -preload or POST /datasets/load) still build in memory; they serve
+// mapped after the next restart's warm restore.
 package main
 
 import (
@@ -105,15 +114,22 @@ func main() {
 	storeDir := flag.String("store", "", "persist datasets under this directory (snapshot + WAL per dataset; warm-restores at startup)")
 	fsyncEvery := flag.Int("fsync-every", 1, "with -store: fsync the WAL once per N ingests (group commit; N>1 risks the last N-1 acked ingests on a crash)")
 	follow := flag.String("follow", "", "run as a serving read replica of the leader at this base URL (excludes -store and -preload)")
+	mmap := flag.Bool("mmap", false, "serve dataset values as zero-copy views over memory-mapped snapshots (with -store: warm restores; with -follow: shipped snapshots are spooled to disk and mapped)")
 	flag.Parse()
 
 	if *follow != "" && (*storeDir != "" || *preload != "") {
 		log.Fatal("onexd: -follow excludes -store and -preload (a replica's state is shipped from the leader)")
 	}
+	if *mmap && *storeDir == "" && *follow == "" {
+		log.Fatal("onexd: -mmap needs a snapshot to map; pair it with -store (warm restores) or -follow (spooled bootstrap snapshots)")
+	}
 
 	var opts []server.Option
 	if *storeDir != "" {
 		opts = append(opts, server.WithStore(*storeDir))
+		if *mmap {
+			opts = append(opts, server.WithMmap())
+		}
 	}
 	if *dataDir != "" {
 		opts = append(opts, server.WithDataDir(*dataDir))
@@ -158,12 +174,24 @@ func main() {
 			log.Printf("onexd: leader %s has no datasets; serving empty (restart the follower after loading the leader)", *follow)
 		}
 		opts = append(opts, server.WithLeader(*follow))
+		spoolDir := ""
+		if *mmap {
+			// Shipped snapshots are spooled here and mapped instead of
+			// being decoded onto the heap; the directory lives for the
+			// process (mappings reference its files).
+			spoolDir, err = os.MkdirTemp("", "onexd-replica-spool-")
+			if err != nil {
+				log.Fatalf("onexd: -mmap spool dir: %v", err)
+			}
+			defer os.RemoveAll(spoolDir)
+		}
 		followers = make(map[string]*replica.Follower, len(names))
 		for _, name := range names {
 			followers[name] = replica.New(*follow, name, replica.Options{
-				Workers: *maxWorkers,
-				Logf:    log.Printf,
-				OnDB:    func(db *onex.DB) { srv.AddDB(name, db) },
+				Workers:  *maxWorkers,
+				SpoolDir: spoolDir,
+				Logf:     log.Printf,
+				OnDB:     func(db *onex.DB) { srv.AddDB(name, db) },
 			})
 		}
 		opts = append(opts, server.WithReplicaStatus(func() map[string]replica.Status {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"sort"
 
 	"repro/internal/dist"
@@ -64,6 +65,11 @@ func (e *Engine) CommonPatternsContext(ctx context.Context, opts CommonOptions, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: CommonPatterns: %w", err)
+	}
+	defer release()
 	minSeries := opts.MinSeries
 	if minSeries < 2 {
 		minSeries = 2

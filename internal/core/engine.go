@@ -166,6 +166,11 @@ func (e *Engine) OverviewContext(ctx context.Context, length, k int, st *SearchS
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: Overview: %w", err)
+	}
+	defer release()
 	if length == 0 {
 		best, bestCount := 0, -1
 		for _, l := range e.base.Lengths() {
@@ -270,6 +275,11 @@ func (e *Engine) GroupMembersContext(ctx context.Context, ref GroupRef, st *Sear
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: GroupMembers: %w", err)
+	}
+	defer release()
 	groups := e.base.GroupsOfLength(ref.Length)
 	if ref.Index < 0 || ref.Index >= len(groups) {
 		return nil, fmt.Errorf("core: GroupMembers: no group %d at length %d", ref.Index, ref.Length)

@@ -59,6 +59,11 @@ func (e *Engine) withinThreshold(ctx context.Context, q []float64, opts RangeOpt
 	if opts.MaxDist < 0 || math.IsNaN(opts.MaxDist) {
 		return nil, fmt.Errorf("core: WithinThreshold: MaxDist %g must be non-negative", opts.MaxDist)
 	}
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: WithinThreshold: %w", err)
+	}
+	defer release()
 	lengths := e.candidateLengths(opts.Constraints)
 	if len(lengths) == 0 {
 		return nil, ErrNoMatch

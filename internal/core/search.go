@@ -83,6 +83,14 @@ func (e *Engine) search(ctx context.Context, q []float64, k int, c QueryConstrai
 	if k < 1 {
 		return nil, fmt.Errorf("core: k = %d must be >= 1", k)
 	}
+	// Pin mmap-backed values for the whole walk (no-op for heap datasets):
+	// the backing mapping cannot be released while the search dereferences
+	// member windows.
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: search: %w", err)
+	}
+	defer release()
 	lengths := e.candidateLengths(c)
 	if len(lengths) == 0 {
 		return nil, ErrNoMatch

@@ -91,6 +91,11 @@ func (e *Engine) SeasonalByIndexContext(ctx context.Context, si int, opts Season
 	if si < 0 || si >= e.ds.Len() {
 		return nil, fmt.Errorf("core: Seasonal: series index %d out of range", si)
 	}
+	release, err := e.ds.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("core: Seasonal: %w", err)
+	}
+	defer release()
 	minL, maxL := opts.MinLength, opts.MaxLength
 	if minL <= 0 {
 		minL = e.base.MinLength

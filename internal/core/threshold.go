@@ -70,6 +70,11 @@ func SampleDistancesContext(ctx context.Context, d *ts.Dataset, opts ThresholdOp
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	release, err := d.Pin()
+	if err != nil {
+		return nil, 0, fmt.Errorf("core: SampleDistances: %w", err)
+	}
+	defer release()
 	if err := d.Validate(); err != nil {
 		return nil, 0, fmt.Errorf("core: SampleDistances: %w", err)
 	}

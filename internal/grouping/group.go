@@ -130,6 +130,13 @@ var ErrNoData = errors.New("grouping: no subsequences in the configured length r
 // be normalized (ST is interpreted in the dataset's value units either
 // way). Build does not retain d; callers pass it again where needed.
 func Build(d *ts.Dataset, opts Options) (*Base, error) {
+	// Pin mmap-backed values for the whole construction (no-op for heap
+	// datasets); every subsequence window is dereferenced below.
+	release, err := d.Pin()
+	if err != nil {
+		return nil, fmt.Errorf("grouping: Build: %w", err)
+	}
+	defer release()
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("grouping: Build: %w", err)
 	}
@@ -422,6 +429,11 @@ func (b *Base) CompactionRatio() float64 {
 // ST/2 of the representative, and every window of every in-range length
 // present exactly once.
 func (b *Base) Validate(d *ts.Dataset) error {
+	release, err := d.Pin()
+	if err != nil {
+		return fmt.Errorf("grouping: Validate: %w", err)
+	}
+	defer release()
 	if got := DatasetChecksum(d); got != b.DatasetSum {
 		return fmt.Errorf("grouping: Validate: dataset checksum %x does not match base %x", got, b.DatasetSum)
 	}

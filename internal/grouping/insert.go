@@ -23,6 +23,14 @@ func (b *Base) AddSeries(d *ts.Dataset, si int) error {
 	if si < 0 || si >= d.Len() {
 		return fmt.Errorf("grouping: AddSeries: series index %d out of range", si)
 	}
+	// The insert compares the new series' windows against existing group
+	// representatives and the checksum refresh walks every value; pin
+	// mmap-backed storage across both (no-op for heap datasets).
+	release, err := d.Pin()
+	if err != nil {
+		return fmt.Errorf("grouping: AddSeries: %w", err)
+	}
+	defer release()
 	s := d.Series[si]
 	// Reject double-insertion: the caller is misusing the API. The indexed
 	// set makes this O(1) per call instead of a scan over every member of

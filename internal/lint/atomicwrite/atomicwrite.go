@@ -24,13 +24,14 @@ var Analyzer = &lint.Analyzer{
 	Directive: "rawfs",
 	Doc: `check that persistence writes go through internal/fsutil
 
-In internal/store, internal/grouping, internal/replica, and internal/ts,
-calling os.Rename, os.WriteFile, or os.Create directly is an error: those
+In internal/store, internal/grouping, internal/replica, internal/ts, and
+internal/mmapdata, calling os.Rename, os.WriteFile, or os.Create directly
+is an error: those
 paths can leave a torn file behind on crash. Use fsutil.WriteFileAtomic /
 fsutil.CreateTemp instead. Additionally, every os.Rename that commits
 data must be preceded by an (*os.File).Sync call in the same function.
 Annotate deliberate exceptions with //onex:rawfs <reason>.`,
-	Match: lint.MatchAny("internal/store", "internal/grouping", "internal/replica", "internal/ts", "internal/fsutil"),
+	Match: lint.MatchAny("internal/store", "internal/grouping", "internal/replica", "internal/ts", "internal/fsutil", "internal/mmapdata"),
 	Run:   run,
 }
 

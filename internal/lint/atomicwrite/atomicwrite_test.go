@@ -18,6 +18,14 @@ func TestFsutilSyncRule(t *testing.T) {
 	linttest.Run(t, "testdata", atomicwrite.Analyzer, "internal/fsutil")
 }
 
+// TestMmapdataEnforced proves the mmap subsystem is held to the same
+// crash-safe write discipline as the rest of the persistence layer: the
+// package is read-mostly (it maps snapshots), so any direct os.* write
+// creeping in is a design smell the analyzer must flag.
+func TestMmapdataEnforced(t *testing.T) {
+	linttest.Run(t, "testdata", atomicwrite.Analyzer, "internal/mmapdata")
+}
+
 func TestMatch(t *testing.T) {
 	for path, want := range map[string]bool{
 		"repro/internal/store":    true,
@@ -25,6 +33,7 @@ func TestMatch(t *testing.T) {
 		"repro/internal/replica":  true,
 		"repro/internal/ts":       true,
 		"repro/internal/fsutil":   true,
+		"repro/internal/mmapdata": true,
 		"repro/internal/core":     false,
 		"repro/cmd/onexload":      false,
 	} {

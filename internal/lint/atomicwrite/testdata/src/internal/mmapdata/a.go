@@ -1,0 +1,26 @@
+// Package a proves internal/mmapdata is in the atomicwrite enforcement
+// set: the mmap subsystem only ever reads snapshots, so a direct os.*
+// write appearing in it must be flagged like in any persistence package.
+package a
+
+import "os"
+
+func spoolDirect(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `direct os\.WriteFile bypasses the crash-safe write path`
+}
+
+func createScratch(path string) error {
+	f, err := os.Create(path) // want `direct os\.Create bypasses the crash-safe write path`
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func swapUnsynced(oldPath, newPath string) error {
+	return os.Rename(oldPath, newPath) // want `direct os\.Rename bypasses the crash-safe write path`
+}
+
+func mappingReadsAreFine(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,54 @@
+package mmapdata_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mmapdata"
+	"repro/internal/store"
+)
+
+// FuzzMmapOpen mirrors the store package's snapshot fuzz target through the
+// mmap path: arbitrary bytes on disk must either open cleanly or fail with
+// a typed error — no panics, no faults, no unbounded allocations. CI runs
+// this for a short budget on every push.
+func FuzzMmapOpen(f *testing.F) {
+	valid, err := store.EncodeSnapshot(testState(f))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("ONEXSNP1"))
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	dir := f.TempDir()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(dir, "fuzz.onex")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := mmapdata.OpenState(path)
+		if err != nil {
+			if !errors.Is(err, store.ErrSnapshotCorrupt) {
+				t.Fatalf("non-typed open failure: %v", err)
+			}
+			return
+		}
+		// A successful open must hand back a live, pinnable mapping.
+		src := st.Dataset.Source
+		if src == nil {
+			t.Fatal("opened state has no ValueSource")
+		}
+		if err := src.Retain(); err != nil {
+			t.Fatalf("Retain on fresh mapping: %v", err)
+		}
+		src.Release()
+		src.Release()
+	})
+}

@@ -1,0 +1,24 @@
+//go:build !unix
+
+package mmapdata
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without a usable mmap reads the whole file into a
+// heap buffer instead. Every caller-visible behavior is preserved — the
+// same decoder runs over the same bytes — only Kind reports
+// "mmap-fallback" and the values are materialized rather than paged.
+func mapFile(f *os.File, size int) (data []byte, heap bool, err error) {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(f, buf); err != nil {
+		return nil, false, err
+	}
+	return buf, true, nil
+}
+
+// munmap is never called for heap buffers; present to satisfy the shared
+// Release path's signature.
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package mmapdata
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared (so the pages stay
+// page-cache-backed, never copied). heap reports whether the returned
+// buffer is an ordinary heap allocation instead of a mapping; on unix it
+// is always a mapping.
+func mapFile(f *os.File, size int) (data []byte, heap bool, err error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+// munmap releases a mapping produced by mapFile.
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,206 @@
+// Package mmapdata opens ONEX snapshot files as memory-mapped, zero-copy
+// datasets, so a database larger than RAM can be served straight off the
+// page cache instead of being decoded eagerly onto the heap.
+//
+// OpenState maps the snapshot read-only and runs the regular store decoder
+// over the mapping with a value viewer that reinterprets each series'
+// 8-aligned little-endian float64 run in place (see store.Float64Viewer).
+// The structural metadata — names, meta maps, the grouping base — is small
+// and decodes onto the heap as usual; the value runs, which dominate the
+// file, stay in the mapping and page in on demand. The returned
+// store.State carries the mapping as its Dataset's ts.ValueSource.
+//
+// Lifetime is refcounted: the opener holds the initial reference and every
+// walk that dereferences mapped values pins the mapping (ts.Dataset.Pin)
+// for its duration, so releasing the owner's reference (onex.DB.Close)
+// never unmaps storage under an in-flight scan. Compaction is safe by
+// inode semantics: the atomic rename that installs a new snapshot leaves
+// the mapped old file alive until the last reference drops — readers pin
+// the incarnation they started on.
+//
+// A snapshot damaged on disk is reported as a typed error, never a fault:
+// the open-time decode verifies the header and every section CRC against
+// the true file size, and runs under a page-fault guard
+// (debug.SetPanicOnFault) that converts a truncation race — the file
+// shrinking between stat and decode — into ErrTruncated. After a
+// successful open the file is never truncated in place (the store engine
+// only ever replaces snapshots by rename), so the mapping stays valid.
+//
+// On platforms without a usable mmap the package transparently falls back
+// to an eager read into the heap behind the same interface (Kind reports
+// "mmap-fallback"), so callers never branch on platform.
+package mmapdata
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime/debug"
+	"sync/atomic"
+
+	"repro/internal/store"
+)
+
+// ErrTruncated reports that the snapshot file shrank while it was being
+// decoded — the mapping faulted past end-of-file. The store's engines only
+// replace snapshots by atomic rename, so this indicates outside
+// interference with the store directory.
+var ErrTruncated = errors.New("mmapdata: snapshot truncated while reading")
+
+// ErrReleased is returned by Retain after the mapping's last reference has
+// dropped and the storage has been reclaimed. The dataset it backed is
+// gone; callers must not retry.
+var ErrReleased = errors.New("mmapdata: mapping released")
+
+// Mapping is one read-only mapped snapshot file (or its eager-decode
+// fallback). It implements ts.ValueSource: the dataset decoded from it
+// carries it as Source, and every value walk pins it via Retain/Release.
+//
+// The counter starts at 1 for the opener; OpenState's caller owns that
+// reference and must Release it exactly once (onex.DB.Close does). The
+// data is unmapped when the count reaches zero.
+type Mapping struct {
+	path string
+	data []byte
+	size int64 // len(data) at open; readable without holding a reference
+	heap bool  // fallback: data is a heap buffer, not a mapping
+	refs atomic.Int64
+}
+
+// Retain pins the mapping for one walk. It fails with ErrReleased once the
+// last reference has dropped.
+func (m *Mapping) Retain() error {
+	for {
+		n := m.refs.Load()
+		if n <= 0 {
+			return ErrReleased
+		}
+		if m.refs.CompareAndSwap(n, n+1) {
+			return nil
+		}
+	}
+}
+
+// Release drops one reference; the last release unmaps the file. Calling
+// Release more times than Retain (plus the opener's initial reference) is
+// a bug and panics rather than corrupting the count.
+func (m *Mapping) Release() {
+	n := m.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("mmapdata: Release without matching Retain")
+	}
+	data := m.data
+	m.data = nil
+	if !m.heap && data != nil {
+		// Unmap failures are not actionable by the caller (the address
+		// range is gone either way); ignore like os.File finalizers do.
+		_ = munmap(data)
+	}
+}
+
+// Kind reports the backing: "mmap" for a true mapping, "mmap-fallback"
+// when the platform forced an eager heap copy.
+func (m *Mapping) Kind() string {
+	if m.heap {
+		return "mmap-fallback"
+	}
+	return "mmap"
+}
+
+// Path returns the snapshot file the mapping was opened from.
+func (m *Mapping) Path() string { return m.path }
+
+// MappedBytes is the size of the mapped region (the snapshot file size at
+// open). Safe to call without holding a reference.
+func (m *Mapping) MappedBytes() int64 { return m.size }
+
+// ResidentBytes reports how much of the mapping is currently resident in
+// physical memory, or -1 when the platform cannot tell. The fallback's
+// heap buffer is always resident. The caller must hold a reference.
+func (m *Mapping) ResidentBytes() int64 {
+	if m.heap {
+		return m.size
+	}
+	return residentBytes(m.data)
+}
+
+// OpenState maps the snapshot at path and decodes it into a store.State
+// whose series values are zero-copy views over the mapping. The returned
+// State's Dataset carries the mapping as its ValueSource; the caller owns
+// the initial reference and must Release it when done with the dataset.
+//
+// A missing file satisfies errors.Is(err, os.ErrNotExist) — OpenState is a
+// valid store.SnapshotOpener. Corruption satisfies
+// errors.Is(err, store.ErrSnapshotCorrupt); a file that shrank mid-decode
+// additionally satisfies errors.Is(err, ErrTruncated). On any error the
+// mapping is released before returning.
+func OpenState(path string) (*store.State, error) {
+	m, err := openMapping(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := decodeMapped(m)
+	if err != nil {
+		m.Release()
+		return nil, err
+	}
+	st.Dataset.Source = m
+	return st, nil
+}
+
+// openMapping opens and maps (or, on fallback platforms, reads) the file.
+func openMapping(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err // preserves os.ErrNotExist for SnapshotOpener
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("mmapdata: stat %s: %w", path, err)
+	}
+	size := fi.Size()
+	if size == 0 {
+		// A zero-length mapping is an error on most platforms; report it
+		// as the corrupt (empty) snapshot it is.
+		return nil, fmt.Errorf("%w: mmapdata: %s is empty", store.ErrSnapshotCorrupt, path)
+	}
+	const maxSnapshot = 1 << 46 // 64 TiB: int-overflow guard on 64-bit, sanity everywhere
+	if size < 0 || size > maxSnapshot {
+		return nil, fmt.Errorf("mmapdata: %s: implausible size %d", path, size)
+	}
+	data, heap, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("mmapdata: map %s: %w", path, err)
+	}
+	m := &Mapping{path: path, data: data, size: int64(len(data)), heap: heap}
+	m.refs.Store(1)
+	return m, nil
+}
+
+// decodeMapped runs the store decoder over the mapping with the zero-copy
+// viewer, under a fault guard that turns a mid-decode truncation (SIGBUS
+// on a page past the new EOF) into ErrTruncated.
+func decodeMapped(m *Mapping) (st *store.State, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Only a runtime memory fault is expected here; anything else
+			// is a real bug and must keep crashing.
+			if _, ok := r.(error); !ok {
+				panic(r)
+			}
+			err = fmt.Errorf("%w: %w: %s (%v)", store.ErrSnapshotCorrupt, ErrTruncated, m.path, r)
+		}
+	}()
+	// SetPanicOnFault is per-goroutine and scoped to this decode: a fault
+	// on the mapping becomes a recoverable panic instead of a crash. The
+	// full decode touches every byte of the file (all section CRCs are
+	// verified), so a torn or shrinking file is caught here, not later
+	// during query walks.
+	old := debug.SetPanicOnFault(true)
+	defer debug.SetPanicOnFault(old)
+	return store.DecodeSnapshotWith(m.data, float64View)
+}

@@ -1,0 +1,233 @@
+package mmapdata_test
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/grouping"
+	"repro/internal/mmapdata"
+	"repro/internal/store"
+	"repro/internal/ts"
+)
+
+// testState builds a small but real State, mirroring the store package's
+// fixture: a dataset with meta, a grouping base over it, and non-default
+// configuration everywhere.
+func testState(t testing.TB) *store.State {
+	t.Helper()
+	d := ts.NewDataset("mmap-test")
+	d.MustAdd(ts.NewSeries("a", []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.4, 0.3, 0.2, 0.1, 0.2, 0.3, 0.4}))
+	d.MustAdd(ts.NewSeries("b", []float64{0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5, 0.6, 0.7, 0.6, 0.5, 0.5}))
+	c := &ts.Series{Name: "c", Values: []float64{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.8},
+		Meta: map[string]string{"unit": "kW", "site": "x1"}}
+	d.MustAdd(c)
+	base, err := grouping.Build(d, grouping.Options{ST: 0.08, MinLength: 4, MaxLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &store.State{
+		Dataset:   d,
+		Norm:      ts.NormInfo{Kind: ts.NormMinMax, Min: -2.5, Max: 7.25},
+		Base:      base,
+		Version:   42,
+		Band:      3,
+		Exact:     true,
+		CreatedAt: time.Unix(1700000000, 123456789),
+	}
+}
+
+// writeSnapshot encodes st into a snapshot file in a fresh temp dir and
+// returns both the path and the encoded bytes (for corruption tests).
+func writeSnapshot(t testing.TB, st *store.State) (string, []byte) {
+	t.Helper()
+	data, err := store.EncodeSnapshot(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snapshot.onex")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, data
+}
+
+// TestOpenStateMatchesEagerDecode is the zero-copy acceptance bar: the
+// mapped decode must be bit-identical to the eager decode of the same file,
+// and the returned dataset must carry the mapping as its ValueSource.
+func TestOpenStateMatchesEagerDecode(t *testing.T) {
+	want := testState(t)
+	path, data := writeSnapshot(t, want)
+
+	eager, err := store.DecodeSnapshot(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := mmapdata.OpenState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := st.Dataset.Source.(*mmapdata.Mapping)
+	if !ok {
+		t.Fatalf("Dataset.Source = %T, want *mmapdata.Mapping", st.Dataset.Source)
+	}
+	defer m.Release()
+
+	if k := m.Kind(); k != "mmap" && k != "mmap-fallback" {
+		t.Fatalf("Kind() = %q", k)
+	}
+	if m.Path() != path {
+		t.Fatalf("Path() = %q, want %q", m.Path(), path)
+	}
+	if m.MappedBytes() != int64(len(data)) {
+		t.Fatalf("MappedBytes() = %d, want file size %d", m.MappedBytes(), len(data))
+	}
+	// The open-time decode walked every byte (all CRCs verified), so on a
+	// true mapping resident memory is either known (>0) or unknowable (-1).
+	if rb := m.ResidentBytes(); rb == 0 || rb < -1 || rb > m.MappedBytes() {
+		t.Fatalf("ResidentBytes() = %d (mapped %d)", rb, m.MappedBytes())
+	}
+
+	if st.Version != eager.Version || st.Band != eager.Band || st.Exact != eager.Exact ||
+		st.Norm.Kind != eager.Norm.Kind || st.Norm.Min != eager.Norm.Min ||
+		st.Norm.Max != eager.Norm.Max || !st.CreatedAt.Equal(eager.CreatedAt) {
+		t.Fatalf("config drift: mmap %+v, eager %+v", st, eager)
+	}
+	if st.Dataset.Len() != eager.Dataset.Len() {
+		t.Fatalf("series count %d != %d", st.Dataset.Len(), eager.Dataset.Len())
+	}
+	for i, es := range eager.Dataset.Series {
+		ms := st.Dataset.Series[i]
+		if ms.Name != es.Name || len(ms.Values) != len(es.Values) {
+			t.Fatalf("series %d shape: %s/%d != %s/%d", i, ms.Name, len(ms.Values), es.Name, len(es.Values))
+		}
+		for j, v := range es.Values {
+			if ms.Values[j] != v {
+				t.Fatalf("series %s value %d: %v != %v (must be bit-exact)", es.Name, j, ms.Values[j], v)
+			}
+		}
+		for k, v := range es.Meta {
+			if ms.Meta[k] != v {
+				t.Fatalf("series %s meta %q lost", es.Name, k)
+			}
+		}
+	}
+	if st.Base.DatasetSum != eager.Base.DatasetSum {
+		t.Fatalf("base checksum %x != %x", st.Base.DatasetSum, eager.Base.DatasetSum)
+	}
+}
+
+// TestOpenStateMissingFile pins the SnapshotOpener contract: a missing file
+// must surface as os.ErrNotExist so store.Load treats it as "no snapshot",
+// not as damage.
+func TestOpenStateMissingFile(t *testing.T) {
+	_, err := mmapdata.OpenState(filepath.Join(t.TempDir(), "nope.onex"))
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+}
+
+// TestOpenStateCorruption drives every damage class through the mmap open:
+// each must come back as a typed store.ErrSnapshotCorrupt — never a panic,
+// never a SIGBUS, and never a silently wrong dataset.
+func TestOpenStateCorruption(t *testing.T) {
+	// Snapshot header layout (see store/snapshot.go): 8-byte magic, u32
+	// version, u32 section count, n x 32-byte entries, u32 header CRC.
+	const fixed = 8 + 4 + 4
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"empty file": func(data []byte) []byte {
+			return nil
+		},
+		"torn section table": func(data []byte) []byte {
+			return data[:fixed+10] // mid-entry: shorter than the declared table
+		},
+		"bad magic": func(data []byte) []byte {
+			data[0] ^= 0xFF
+			return data
+		},
+		"flipped payload byte": func(data []byte) []byte {
+			data[len(data)-9] ^= 0x01 // inside the BASE payload: section CRC must catch it
+			return data
+		},
+		"truncated tail": func(data []byte) []byte {
+			return data[:len(data)-9] // last section now reaches past EOF
+		},
+		"section length past EOF": func(data []byte) []byte {
+			// Inflate the DATASET section's length (entry 1, length at +16)
+			// and recompute the header CRC so only the bounds check can
+			// reject it — the file itself must never be dereferenced there.
+			n := binary.LittleEndian.Uint32(data[8+4:])
+			binary.LittleEndian.PutUint64(data[fixed+1*32+16:], uint64(len(data))*16)
+			headerSize := fixed + int(n)*32 + 4
+			binary.LittleEndian.PutUint32(data[headerSize-4:], crc32.ChecksumIEEE(data[:headerSize-4]))
+			return data
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			path, data := writeSnapshot(t, testState(t))
+			if err := os.WriteFile(path, corrupt(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			st, err := mmapdata.OpenState(path)
+			if err == nil {
+				st.Dataset.Source.Release()
+				t.Fatal("corrupted snapshot opened without error")
+			}
+			if !errors.Is(err, store.ErrSnapshotCorrupt) {
+				t.Fatalf("err = %v, want store.ErrSnapshotCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestRetainAfterRelease pins the refcount lifecycle: pins taken before the
+// owner releases keep the mapping alive, and once the count hits zero any
+// further Retain must fail with ErrReleased instead of resurrecting freed
+// storage.
+func TestRetainAfterRelease(t *testing.T) {
+	path, _ := writeSnapshot(t, testState(t))
+	st, err := mmapdata.OpenState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.Dataset.Source.(*mmapdata.Mapping)
+
+	if err := m.Retain(); err != nil { // a walk pins the mapping
+		t.Fatal(err)
+	}
+	m.Release() // owner closes: count 2 -> 1, storage must survive the pin
+	v := st.Dataset.Series[0].Values
+	if v[0] != 0.1 || v[len(v)-1] != 0.4 {
+		t.Fatalf("mapped values unreadable under pin after owner release: %v", v[:2])
+	}
+	m.Release() // the walk finishes: count 1 -> 0, storage reclaimed
+
+	if err := m.Retain(); !errors.Is(err, mmapdata.ErrReleased) {
+		t.Fatalf("Retain after last release = %v, want ErrReleased", err)
+	}
+	if m.MappedBytes() == 0 {
+		t.Fatal("MappedBytes must stay readable after release (status endpoints)")
+	}
+}
+
+// TestReleaseUnderflowPanics: an unbalanced Release is a caller bug; the
+// mapping panics loudly rather than silently corrupting the count.
+func TestReleaseUnderflowPanics(t *testing.T) {
+	path, _ := writeSnapshot(t, testState(t))
+	st, err := mmapdata.OpenState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := st.Dataset.Source.(*mmapdata.Mapping)
+	m.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	m.Release()
+}

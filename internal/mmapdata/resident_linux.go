@@ -1,0 +1,42 @@
+//go:build linux
+
+package mmapdata
+
+import (
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// residentBytes asks the kernel (mincore) how many pages of the mapping
+// are currently resident in physical memory. Advisory only — the answer
+// can be stale by the time it returns — but it is exactly the signal
+// /healthz needs to show a beyond-RAM dataset being partially paged.
+func residentBytes(data []byte) int64 {
+	if len(data) == 0 {
+		return 0
+	}
+	page := os.Getpagesize()
+	pages := (len(data) + page - 1) / page
+	vec := make([]byte, pages)
+	_, _, errno := syscall.Syscall(syscall.SYS_MINCORE,
+		uintptr(unsafe.Pointer(&data[0])), uintptr(len(data)), uintptr(unsafe.Pointer(&vec[0])))
+	if errno != 0 {
+		return -1
+	}
+	var resident int64
+	for i, v := range vec {
+		if v&1 == 0 {
+			continue
+		}
+		if i == pages-1 {
+			// Last page may be partial.
+			if rem := len(data) % page; rem != 0 {
+				resident += int64(rem)
+				continue
+			}
+		}
+		resident += int64(page)
+	}
+	return resident
+}

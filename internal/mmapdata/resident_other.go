@@ -1,0 +1,8 @@
+//go:build !linux
+
+package mmapdata
+
+// residentBytes reports -1 on platforms without a residency syscall: the
+// mapping's resident share is unknown (status endpoints render it as such
+// rather than guessing).
+func residentBytes(data []byte) int64 { return -1 }

@@ -1,0 +1,90 @@
+package mmapdata
+
+import (
+	"errors"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/grouping"
+	"repro/internal/store"
+	"repro/internal/ts"
+)
+
+// bigSnapshot writes a snapshot that spans several pages, so truncating it
+// leaves whole pages of the mapping past the new EOF (accessing those is
+// what raises SIGBUS; the tail of the last in-file page only reads zeros).
+func bigSnapshot(t *testing.T) string {
+	t.Helper()
+	vals := make([]float64, 8192) // 64 KiB of values: ~16 pages
+	for i := range vals {
+		vals[i] = (math.Sin(float64(i)/7) + 1) / 2
+	}
+	d := ts.NewDataset("mmap-trunc")
+	d.MustAdd(ts.NewSeries("long", vals))
+	base, err := grouping.Build(d, grouping.Options{ST: 0.05, MinLength: 4, MaxLength: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.EncodeSnapshot(&store.State{
+		Dataset: d,
+		Norm:    ts.NormInfo{Kind: ts.NormNone},
+		Base:    base,
+		Version: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snapshot.onex")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestDecodeMappedTruncationFault exercises the race OpenState's fault guard
+// exists for: the file shrinks between map and decode, so the decode's CRC
+// walk faults past the new EOF. The guard must convert that into a typed
+// ErrTruncated (also classifiable as snapshot corruption) — the process must
+// not die with SIGBUS.
+func TestDecodeMappedTruncationFault(t *testing.T) {
+	path := bigSnapshot(t)
+	m, err := openMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	if m.heap {
+		t.Skip("eager-decode fallback platform: no mapping to fault")
+	}
+	if err := os.Truncate(path, 4096); err != nil {
+		t.Fatal(err)
+	}
+	_, err = decodeMapped(m)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("decode over truncated mapping = %v, want ErrTruncated", err)
+	}
+	if !errors.Is(err, store.ErrSnapshotCorrupt) {
+		t.Fatalf("truncation error %v must also classify as snapshot corruption", err)
+	}
+}
+
+// TestDecodeMappedGrowthIsHarmless: the guard is scoped to the decode — a
+// valid file decodes identically under it, proving SetPanicOnFault isn't
+// masking or altering the normal path.
+func TestDecodeMappedIntact(t *testing.T) {
+	path := bigSnapshot(t)
+	m, err := openMapping(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Release()
+	st, err := decodeMapped(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Dataset.Len() != 1 || len(st.Dataset.Series[0].Values) != 8192 {
+		t.Fatalf("decoded shape %d/%d", st.Dataset.Len(), len(st.Dataset.Series[0].Values))
+	}
+}

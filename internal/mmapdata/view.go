@@ -1,0 +1,17 @@
+package mmapdata
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// copyFloat64s decodes a little-endian float64 run into a fresh heap
+// slice — the portable slow path behind float64View, byte-compatible with
+// the zero-copy reinterpretation.
+func copyFloat64s(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}

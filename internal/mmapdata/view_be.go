@@ -1,0 +1,8 @@
+//go:build !(386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm)
+
+package mmapdata
+
+// float64View on big-endian architectures cannot alias the little-endian
+// snapshot bytes; it decodes into a heap slice. The mapping still avoids
+// double-buffering the file, but values are materialized.
+func float64View(raw []byte) []float64 { return copyFloat64s(raw) }

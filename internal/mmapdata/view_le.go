@@ -1,0 +1,24 @@
+//go:build 386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64 || wasm
+
+package mmapdata
+
+import "unsafe"
+
+// float64View reinterprets an 8-aligned little-endian float64 run as a
+// []float64 without copying — valid because the snapshot format is
+// little-endian and these architectures are too, and because the writer
+// 8-aligns every value run relative to the file start while mmap returns
+// page-aligned (hence 8-aligned) addresses. The alignment check is
+// defensive: a misaligned run (possible only through the heap fallback
+// handing over an unaligned buffer) falls back to a copy rather than
+// faulting on alignment-strict hardware.
+func float64View(raw []byte) []float64 {
+	if len(raw) < 8 {
+		return nil
+	}
+	p := unsafe.Pointer(&raw[0])
+	if uintptr(p)%8 != 0 {
+		return copyFloat64s(raw)
+	}
+	return unsafe.Slice((*float64)(p), len(raw)/8)
+}

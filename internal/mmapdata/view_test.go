@@ -1,0 +1,39 @@
+package mmapdata
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestFloat64ViewMatchesCopy: the zero-copy reinterpretation and the
+// explicit little-endian decode must agree bit-for-bit — including on
+// payloads the viewer refuses to alias (misaligned starts), where it must
+// fall back to copying rather than returning garbage.
+func TestFloat64ViewMatchesCopy(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, math.Inf(1), math.Inf(-1), math.NaN(),
+		math.SmallestNonzeroFloat64, math.MaxFloat64, -0.0}
+	backing := make([]byte, 8+len(vals)*8)
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(backing[8+i*8:], math.Float64bits(v))
+	}
+
+	for name, raw := range map[string][]byte{
+		"aligned":    backing[8:],
+		"misaligned": backing[7 : len(backing)-1], // same length, off-by-one start
+		"empty":      nil,
+	} {
+		t.Run(name, func(t *testing.T) {
+			got := float64View(raw)
+			want := copyFloat64s(raw)
+			if len(got) != len(want) {
+				t.Fatalf("len %d != %d", len(got), len(want))
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("value %d: %x != %x", i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+				}
+			}
+		})
+	}
+}

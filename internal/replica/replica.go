@@ -30,10 +30,12 @@ import (
 	"math/rand"
 	"net/http"
 	"net/url"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/internal/fsutil"
 	"repro/internal/store"
 	"repro/onex"
 )
@@ -70,6 +72,17 @@ type Options struct {
 	Client *http.Client
 	// Workers forwards to the follower DB's onex.Config.
 	Workers int
+	// SpoolDir, when set, routes snapshot bootstraps through the mmap
+	// path: each shipped snapshot is streamed to <SpoolDir>/<dataset>.snap
+	// (atomic temp+rename, never held in memory) and the follower DB is
+	// opened with onex.Config.MmapValues, so series values are zero-copy
+	// views over the spooled file — a follower of a beyond-RAM leader
+	// stays beyond-RAM instead of materializing the dataset on its heap.
+	// Re-bootstraps overwrite the spool file by rename and Close the
+	// superseded DB, releasing its mapping once in-flight scans finish
+	// (queries that still hold the old pointer then fail with
+	// onex.ErrMmapClosed). Empty keeps the in-memory decode.
+	SpoolDir string
 	// PollWait is the long-poll duration asked of the leader (how long a
 	// WAL request may block waiting for new records). 0 means 20s.
 	PollWait time.Duration
@@ -300,16 +313,37 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("replica: snapshot: leader answered %s%s", resp.Status, bodyHint(resp.Body))
 	}
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return fmt.Errorf("replica: snapshot body: %w", err)
-	}
-	db, err := onex.OpenReplica(blob, onex.Config{Workers: f.opt.Workers})
-	if err != nil {
-		return fmt.Errorf("replica: %w", err)
+	var db *onex.DB
+	var size int64
+	if f.opt.SpoolDir != "" {
+		// Beyond-RAM path: stream the snapshot to disk and mmap it, so the
+		// shipped dataset is never resident in this process's heap.
+		path := f.spoolPath()
+		if err := fsutil.WriteFileAtomic(path, func(w io.Writer) error {
+			n, err := io.Copy(w, resp.Body)
+			size = n
+			return err
+		}); err != nil {
+			return fmt.Errorf("replica: spool snapshot: %w", err)
+		}
+		db, err = onex.OpenReplicaFile(path, onex.Config{Workers: f.opt.Workers, MmapValues: true})
+		if err != nil {
+			return fmt.Errorf("replica: %w", err)
+		}
+	} else {
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return fmt.Errorf("replica: snapshot body: %w", err)
+		}
+		size = int64(len(blob))
+		db, err = onex.OpenReplica(blob, onex.Config{Workers: f.opt.Workers})
+		if err != nil {
+			return fmt.Errorf("replica: %w", err)
+		}
 	}
 	version := db.Version()
 	f.mu.Lock()
+	old := f.db
 	f.db = db
 	f.st.AppliedSeq = version
 	if version > f.st.LeaderSeq {
@@ -318,11 +352,25 @@ func (f *Follower) bootstrap(ctx context.Context) error {
 	f.st.SnapshotsShipped++
 	f.st.LastError = ""
 	f.mu.Unlock()
-	f.logf("replica %s: bootstrapped at version %d (%d bytes)", f.dataset, version, len(blob))
+	f.logf("replica %s: bootstrapped at version %d (%d bytes)", f.dataset, version, size)
 	if f.opt.OnDB != nil {
 		f.opt.OnDB(db)
 	}
+	if old != nil {
+		// Release the superseded DB's mapping (no-op for in-memory
+		// replicas). In-flight scans hold pins and finish safely; the
+		// spool file's previous incarnation was already replaced by
+		// rename, so the last pin dropping reclaims its inode too.
+		old.Close()
+	}
 	return nil
+}
+
+// spoolPath is the mmap bootstrap spool file for this follower's dataset.
+// The dataset name is path-escaped: it arrived from configuration, not a
+// trusted filesystem, and must not traverse out of SpoolDir.
+func (f *Follower) spoolPath() string {
+	return filepath.Join(f.opt.SpoolDir, url.PathEscape(f.dataset)+".snap")
 }
 
 // tail long-polls the WAL endpoint and applies batches until an error or a

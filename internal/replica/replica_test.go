@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"regexp"
 	"testing"
 	"time"
@@ -195,6 +197,68 @@ func TestCompactionFenceReshipsAndConverges(t *testing.T) {
 	assertEquivalent(t, leader, f.DB())
 	if st := f.Status(); st.SnapshotsShipped < 2 {
 		t.Fatalf("compaction behind the cursor should force a re-ship, got %d ships", st.SnapshotsShipped)
+	}
+}
+
+// TestFollowerSpoolBootstrapMmap: with a spool directory configured the
+// follower streams shipped snapshots to disk and serves them mmap-backed
+// instead of holding a decoded copy on the heap. The mmap path must be
+// invisible at the protocol level: byte equivalence after bootstrap, after
+// streamed ingests, and across a compaction fence (which re-ships, swaps in
+// a fresh mapping, and closes the superseded DB).
+func TestFollowerSpoolBootstrapMmap(t *testing.T) {
+	leader, hts := startLeader(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	spool := t.TempDir()
+	f := replica.New(hts.URL, "walks", replica.Options{
+		PollWait: 500 * time.Millisecond,
+		SpoolDir: spool,
+	})
+	go func() { _ = f.Run(ctx) }()
+	if err := f.WaitCaughtUp(ctx, leader.Version()); err != nil {
+		t.Fatalf("spooled follower never converged: %v", err)
+	}
+	assertEquivalent(t, leader, f.DB())
+
+	// The shipped snapshot landed in the spool — that file is what the
+	// follower's DB is mapping.
+	fi, err := os.Stat(filepath.Join(spool, "walks.snap"))
+	if err != nil {
+		t.Fatalf("no spooled snapshot: %v", err)
+	}
+	if fi.Size() == 0 {
+		t.Fatal("spooled snapshot is empty")
+	}
+
+	// Streamed ingests apply on top of the mapped dataset.
+	extra := gen.RandomWalks(gen.WalkOptions{Num: 3, Length: 64, Seed: 77})
+	for _, s := range extra.Series {
+		if err := leader.AddSeries("live-"+s.Name, s.Values); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.WaitCaughtUp(ctx, leader.Version()); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, leader, f.DB())
+
+	// A compaction fence forces a re-ship: the spool file is atomically
+	// replaced, a new mapping swapped in, and the old DB closed. The
+	// follower must come out the other side still byte-equivalent.
+	if err := leader.AddSeries("post-fence", extra.Series[0].Values); err != nil {
+		t.Fatal(err)
+	}
+	if err := leader.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.WaitCaughtUp(ctx, leader.Version()); err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, leader, f.DB())
+	if st := f.Status(); st.SnapshotsShipped < 2 {
+		t.Fatalf("fence should force a snapshot re-ship, got %d ships", st.SnapshotsShipped)
 	}
 }
 

@@ -75,6 +75,7 @@ type Server struct {
 	maxWorkers int    // per-request cap on Query/Analysis Workers (0 = GOMAXPROCS)
 	storeDir   string // when set, loaded datasets persist under storeDir/<name> (WithStore)
 	fsyncEvery int    // WAL group-commit stride for store-backed datasets (WithFsyncEvery)
+	mmapValues bool   // RestoreStored opens datasets with mmap-backed values (WithMmap)
 
 	// Serving tier (see docs/ARCHITECTURE.md, "serving tier"): a versioned
 	// result cache, per-client rate limiting, concurrent-query admission

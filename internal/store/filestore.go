@@ -1,6 +1,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +19,18 @@ const (
 	snapshotFile = "snapshot.onex"
 	walFile      = "wal.log"
 )
+
+// SnapshotPath returns the snapshot file path inside a FileStore directory.
+// The mmap open path (internal/mmapdata) maps this file directly; exposing
+// the name keeps the layout knowledge in one place.
+func SnapshotPath(dir string) string { return filepath.Join(dir, snapshotFile) }
+
+// SnapshotOpener turns the snapshot file at path into a State. The default
+// reads the file into memory and runs DecodeSnapshot; SetSnapshotOpener
+// installs an alternative (mmapdata.OpenState maps the file read-only and
+// aliases the value runs). A missing file must surface an error satisfying
+// errors.Is(err, os.ErrNotExist).
+type SnapshotOpener func(path string) (*State, error)
 
 // FileStore is the first Engine implementation: one directory holding a
 // snapshot file and a write-ahead log (formats documented in snapshot.go
@@ -56,6 +69,10 @@ type FileStore struct {
 	// durable default); unsynced counts appends since the last fsync.
 	fsyncEvery int
 	unsynced   int
+
+	// snapOpen overrides how Load obtains the snapshot State (see
+	// SnapshotOpener); nil selects read-into-memory + DecodeSnapshot.
+	snapOpen SnapshotOpener
 }
 
 // Open creates or opens a FileStore directory. It cleans up (and records in
@@ -121,6 +138,27 @@ func (fs *FileStore) openWAL() error {
 	return nil
 }
 
+// SetSnapshotOpener installs how Load turns the snapshot file into a
+// State; nil restores the default (read into memory + DecodeSnapshot).
+// Call before Load — the opener is consulted there only.
+func (fs *FileStore) SetSnapshotOpener(open SnapshotOpener) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.snapOpen = open
+}
+
+// openSnapshot applies the configured SnapshotOpener. Callers hold fs.mu.
+func (fs *FileStore) openSnapshot(path string) (*State, error) {
+	if fs.snapOpen != nil {
+		return fs.snapOpen(path)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSnapshot(data)
+}
+
 // Kind implements Engine.
 func (fs *FileStore) Kind() string { return "filestore" }
 
@@ -140,18 +178,14 @@ func (fs *FileStore) Load() (*LoadResult, error) {
 	res := &LoadResult{Recovery: fs.recovery}
 
 	snapPath := filepath.Join(fs.dir, snapshotFile)
-	if data, err := os.ReadFile(snapPath); err == nil {
-		st, err := DecodeSnapshot(data)
-		if err != nil {
-			// A damaged snapshot is unrecoverable by design: it is the one
-			// full copy of the grouped index. Fail loudly rather than
-			// rebuilding silently over it.
-			return nil, fmt.Errorf("store: Load: %w", err)
-		}
+	if st, err := fs.openSnapshot(snapPath); err == nil {
 		res.State = st
 		fs.snapVersion = st.Version
 		fs.snapTime = st.CreatedAt
-	} else if !os.IsNotExist(err) {
+	} else if !errors.Is(err, os.ErrNotExist) {
+		// A damaged snapshot is unrecoverable by design: it is the one
+		// full copy of the grouped index. Fail loudly rather than
+		// rebuilding silently over it.
 		return nil, fmt.Errorf("store: Load: %w", err)
 	}
 

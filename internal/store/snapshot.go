@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -12,6 +13,13 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/ts"
 )
+
+// ErrSnapshotCorrupt is wrapped by every snapshot decode failure — bad
+// magic, torn section table, a section reaching past end of file, a CRC
+// mismatch, or a malformed payload — so callers (and the mmap open path,
+// which must turn damage into an error rather than a fault) can classify
+// with errors.Is without matching message text.
+var ErrSnapshotCorrupt = errors.New("snapshot corrupt")
 
 // Snapshot file format, little endian throughout:
 //
@@ -279,8 +287,46 @@ func parseSnapshotHeader(data []byte) ([]section, error) {
 	return sections, nil
 }
 
+// Float64Viewer turns one 8-aligned little-endian float64 run of the
+// snapshot buffer into a []float64. nil selects the default, which decodes
+// into a fresh heap slice; the mmap open path (internal/mmapdata) supplies
+// a zero-copy reinterpretation over its read-only mapping instead, so the
+// returned slices page in on demand rather than being materialized.
+type Float64Viewer func(raw []byte) []float64
+
+// copyFloat64s is the default viewer: an explicit little-endian decode
+// into a heap slice, byte-compatible with the zero-copy view.
+func copyFloat64s(raw []byte) []float64 {
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+	}
+	return out
+}
+
 // DecodeSnapshot parses and verifies a snapshot file into a State.
 func DecodeSnapshot(data []byte) (*State, error) {
+	return DecodeSnapshotWith(data, nil)
+}
+
+// DecodeSnapshotWith is DecodeSnapshot with the value decoding pluggable:
+// every series' float64 run is handed to view (see Float64Viewer), so the
+// caller controls whether values are copied onto the heap or aliased in
+// place. All structural metadata — names, meta maps, the grouping base —
+// is decoded eagerly either way; it is small next to the value runs.
+// Decode failures satisfy errors.Is(err, ErrSnapshotCorrupt).
+func DecodeSnapshotWith(data []byte, view Float64Viewer) (*State, error) {
+	if view == nil {
+		view = copyFloat64s
+	}
+	st, err := decodeSnapshot(data, view)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrSnapshotCorrupt, err)
+	}
+	return st, nil
+}
+
+func decodeSnapshot(data []byte, view Float64Viewer) (*State, error) {
 	sections, err := parseSnapshotHeader(data)
 	if err != nil {
 		return nil, err
@@ -352,13 +398,15 @@ func DecodeSnapshot(data []byte) (*State, error) {
 			return nil, fmt.Errorf("store: snapshot: implausible value count %d", numValues)
 		}
 		dr.pad8()
-		values := make([]float64, numValues)
-		for vi := range values {
-			values[vi] = dr.f64()
-		}
+		// Values are one contiguous 8-aligned little-endian run; hand the
+		// raw bytes to the viewer so the mmap path can alias them in place.
+		// (On 32-bit platforms the multiplication can wrap; take rejects
+		// negative sizes, so a wrapped length fails cleanly.)
+		raw := dr.take(int(numValues) * 8)
 		if dr.err != nil {
 			break
 		}
+		values := view(raw)
 		s := &ts.Series{Name: name, Values: values, Meta: meta}
 		if err := ds.Add(s); err != nil {
 			return nil, fmt.Errorf("store: snapshot: DATASET: %w", err)

@@ -169,6 +169,17 @@ type Status struct {
 	// failure (a failed auto-compaction, say) for health endpoints; the
 	// engine itself never sets it.
 	LastError string
+	// ValuesKind, MappedBytes, and MappedResidentBytes describe the owning
+	// DB's value residency when it was opened with mmap-backed values
+	// (onex.Config.MmapValues): the backing kind ("mmap", or
+	// "mmap-fallback" on platforms without a usable mapping), the size of
+	// the mapped snapshot, and how much of it is currently resident in
+	// physical memory (-1 when the platform cannot tell). Zero values mean
+	// the dataset is fully heap-resident (eager decode). Like LastError,
+	// these are annotated by the DB — the engine itself never sets them.
+	ValuesKind          string
+	MappedBytes         int64
+	MappedResidentBytes int64
 }
 
 // Engine is the pluggable persistence contract. Implementations must make

@@ -78,6 +78,12 @@ type Dataset struct {
 	// Norm records the normalization applied to Values, if any.
 	Norm NormInfo
 
+	// Source, when non-nil, is the refcounted backing storage the series
+	// value slices alias (a memory-mapped snapshot); see ValueSource. nil
+	// means every value slice is an ordinary heap allocation. Series added
+	// after construction always live on the heap regardless.
+	Source ValueSource
+
 	byName map[string]int
 }
 
@@ -219,7 +225,9 @@ func (d *Dataset) NumSubsequences(minLen, maxLen int) int {
 	return total
 }
 
-// Clone returns a deep copy of the dataset (series values and meta included).
+// Clone returns a deep copy of the dataset (series values and meta
+// included). The copy is fully heap-resident: it does not inherit d's
+// value Source, so it stays valid after the source is released.
 func (d *Dataset) Clone() *Dataset {
 	c := NewDataset(d.Name)
 	c.Norm = d.Norm

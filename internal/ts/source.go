@@ -1,0 +1,74 @@
+package ts
+
+// ValueSource is the backing storage of a dataset's series values when they
+// are not ordinary heap slices — today, zero-copy views over a read-only
+// memory-mapped snapshot (internal/mmapdata). A Dataset with a nil Source is
+// fully heap-resident and needs no lifetime management; one with a Source
+// must keep the source alive for as long as any value slice may be
+// dereferenced.
+//
+// Sources are refcounted. Every walk that dereferences value slices must
+// Retain the source first and Release when done, so the owner releasing its
+// reference (onex.DB.Close) — or a compaction swapping in a newer snapshot
+// incarnation — can never unmap storage under an in-flight scan: readers
+// pin the incarnation they started on until their walk ends, and the
+// storage is reclaimed only when the last reference drops.
+type ValueSource interface {
+	// Retain pins the storage for one walk. It fails once the owner's
+	// reference has been released and the storage reclaimed; callers must
+	// treat that as "the dataset is gone", not retry.
+	Retain() error
+	// Release undoes one successful Retain (or the owner's initial
+	// reference). The last Release reclaims the storage.
+	Release()
+	// Kind names the backing for status endpoints: "mmap" when the values
+	// are served from a page-cache-backed mapping, "mmap-fallback" when the
+	// platform forced an eager in-heap copy behind the same interface.
+	Kind() string
+	// MappedBytes is the total size of the backing region.
+	MappedBytes() int64
+	// ResidentBytes is the portion of the region currently resident in
+	// physical memory, or -1 when the platform cannot tell.
+	ResidentBytes() int64
+}
+
+// Pin retains the dataset's value source for the duration of a walk and
+// returns the matching release function (never nil — heap datasets return a
+// no-op). Callers that are about to dereference series values outside the
+// constructor must hold the pin until the last dereference:
+//
+//	release, err := d.Pin()
+//	if err != nil { return err }
+//	defer release()
+func (d *Dataset) Pin() (release func(), err error) {
+	if d.Source == nil {
+		return func() {}, nil
+	}
+	if err := d.Source.Retain(); err != nil {
+		return nil, err
+	}
+	return d.Source.Release, nil
+}
+
+// ShareValues returns a dataset that shares d's value slices (and value
+// source) but owns its structural bookkeeping: fresh *Series headers, a
+// fresh name index, and copied Meta maps. The mmap open path uses it when
+// the engine view is bit-identical to the raw view (no normalization): both
+// datasets then reference the same mapped values without materializing
+// either, while AddSeries can still grow each side independently.
+func (d *Dataset) ShareValues() *Dataset {
+	c := NewDataset(d.Name)
+	c.Norm = d.Norm
+	c.Source = d.Source
+	for _, s := range d.Series {
+		ns := &Series{Name: s.Name, Values: s.Values}
+		if s.Meta != nil {
+			ns.Meta = make(map[string]string, len(s.Meta))
+			for k, v := range s.Meta {
+				ns.Meta[k] = v
+			}
+		}
+		c.MustAdd(ns)
+	}
+	return c
+}

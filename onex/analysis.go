@@ -162,6 +162,9 @@ func (db *DB) Analyze(ctx context.Context, a Analysis) (AnalysisResult, error) {
 	start := time.Now()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if err := db.checkValuesLocked(); err != nil {
+		return AnalysisResult{}, err
+	}
 
 	eff := a
 

@@ -1,0 +1,79 @@
+package onex
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// openFDs counts this process's open file descriptors via /proc; tests that
+// need it skip on platforms without procfs.
+func openFDs(t *testing.T) int {
+	t.Helper()
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		t.Skipf("no /proc fd table: %v", err)
+	}
+	return len(ents)
+}
+
+// mapsSnapshot reports whether /proc/self/maps references path.
+func mapsSnapshot(t *testing.T, path string) bool {
+	t.Helper()
+	maps, err := os.ReadFile("/proc/self/maps")
+	if err != nil {
+		t.Skipf("no /proc maps: %v", err)
+	}
+	return strings.Contains(string(maps), path)
+}
+
+// TestCloseLeaksNothing opens and closes store-backed DBs repeatedly — both
+// eager and mmap-backed — and asserts the fd table and address space return
+// to their starting point: Close must drop the WAL fd and the snapshot
+// mapping every time, or a long-lived server reopening datasets would bleed
+// resources.
+func TestCloseLeaksNothing(t *testing.T) {
+	live, dir := openStored(t, Config{})
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap := store.SnapshotPath(dir)
+
+	// Warm-up: let lazy runtime fds (poller etc.) come into existence
+	// before the baseline is taken.
+	for _, mmap := range []bool{false, true} {
+		db, err := OpenStore(dir, Config{MmapValues: mmap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	before := openFDs(t)
+	for i := 0; i < 10; i++ {
+		for _, mmap := range []bool{false, true} {
+			db, err := OpenStore(dir, Config{MmapValues: mmap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mmap && db.values != nil && db.values.Kind() == "mmap" {
+				if !mapsSnapshot(t, snap) {
+					t.Fatal("snapshot not in the address space while the mmap DB is open")
+				}
+			}
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if mapsSnapshot(t, snap) {
+		t.Fatal("snapshot still mapped after Close: mapping leak")
+	}
+	if after := openFDs(t); after > before {
+		t.Fatalf("fd table grew from %d to %d over open/close cycles: fd leak", before, after)
+	}
+}

@@ -1,0 +1,266 @@
+package onex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/store"
+	"repro/internal/ts"
+)
+
+// openStoredMmap seeds a store directory via a live DB, closes it, and
+// reopens the snapshot with mmap-backed values.
+func openStoredMmap(t testing.TB, cfg Config) (live, warm *DB) {
+	t.Helper()
+	live, dir := openStored(t, cfg)
+	warm, err := OpenStore(dir, Config{MmapValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { warm.Close() })
+	return live, warm
+}
+
+// TestOpenStoreMmapEquivalence is the mmap acceptance bar: a DB whose
+// values never left the snapshot file must answer every query class
+// byte-identically to the live DB that wrote it — including WAL replay of
+// series ingested after the snapshot.
+func TestOpenStoreMmapEquivalence(t *testing.T) {
+	live, dir := openStored(t, Config{})
+	if err := live.AddSeries("ingested-1", []float64{5, 4, 3, 2, 1, 2, 3, 4, 5, 4, 3, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := live.AddSeries("ingested-2", []float64{120, 110, 100, 90, 80, 90, 100, 110, 120, 110, 100, 90}); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := OpenStore(dir, Config{MmapValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	sameResults(t, live, warm)
+
+	if warm.values == nil {
+		t.Fatal("mmap open produced no ValueSource")
+	}
+	// Residency split under min-max normalization: the raw view stays on
+	// the mapping, the engine's normalized view is materialized on the heap
+	// (the mapping is read-only).
+	if warm.raw.Source == nil {
+		t.Fatal("raw dataset does not reference the mapping")
+	}
+	if warm.normed.Source != nil {
+		t.Fatal("normalized view claims to be mapped; min-max must materialize")
+	}
+
+	st, ok := warm.StoreStatus()
+	if !ok {
+		t.Fatal("no store status")
+	}
+	if st.ValuesKind != "mmap" && st.ValuesKind != "mmap-fallback" {
+		t.Fatalf("ValuesKind = %q", st.ValuesKind)
+	}
+	if st.MappedBytes <= 0 {
+		t.Fatalf("MappedBytes = %d", st.MappedBytes)
+	}
+	if st.MappedResidentBytes < -1 || st.MappedResidentBytes > st.MappedBytes {
+		t.Fatalf("MappedResidentBytes = %d of %d", st.MappedResidentBytes, st.MappedBytes)
+	}
+}
+
+// TestMmapKeepRawFullyPaged: with no normalization there is nothing to
+// materialize — the engine view must alias the mapped raw values, so the
+// whole dataset stays pageable.
+func TestMmapKeepRawFullyPaged(t *testing.T) {
+	d := smallMatters(t)
+	stats := ts.DatasetStats(d)
+	dir := t.TempDir()
+	eng, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := Open(d, Config{MinLength: 4, MaxLength: 10, KeepRaw: true, ST: stats.Range() / 100, Store: eng})
+	if err != nil {
+		eng.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { live.Close() })
+
+	warm, err := OpenStore(dir, Config{MmapValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if warm.normed.Source == nil {
+		t.Fatal("KeepRaw engine view not sharing the mapping")
+	}
+	for i := range warm.raw.Series {
+		rv, nv := warm.raw.Series[i].Values, warm.normed.Series[i].Values
+		if len(rv) == 0 || &rv[0] != &nv[0] {
+			t.Fatalf("series %d: engine view copied instead of aliased", i)
+		}
+	}
+	sameResults(t, live, warm)
+}
+
+// TestMmapCloseSemantics: unlike an eager store-backed DB (which keeps
+// serving from the heap after Close), closing an mmap-backed DB releases
+// the only copy of the values — every later query must refuse with
+// ErrMmapClosed rather than touch unmapped memory.
+func TestMmapCloseSemantics(t *testing.T) {
+	_, warm := openStoredMmap(t, Config{})
+	ctx := context.Background()
+	q, err := warm.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if _, err := warm.Find(ctx, Query{Values: q[0:8], K: 2}); !errors.Is(err, ErrMmapClosed) {
+		t.Fatalf("Find after Close = %v, want ErrMmapClosed", err)
+	}
+	if _, err := warm.Analyze(ctx, Analysis{Kind: AnalysisLengthSummaries}); !errors.Is(err, ErrMmapClosed) {
+		t.Fatalf("Analyze after Close = %v, want ErrMmapClosed", err)
+	}
+	if _, err := warm.Stream(ctx, Query{Values: q[0:8], K: 2}); !errors.Is(err, ErrMmapClosed) {
+		t.Fatalf("Stream after Close = %v, want ErrMmapClosed", err)
+	}
+	if _, err := warm.SeriesValues("MA"); !errors.Is(err, ErrMmapClosed) {
+		t.Fatalf("SeriesValues after Close = %v, want ErrMmapClosed", err)
+	}
+	if n := warm.Dataset().Len(); n != 0 {
+		t.Fatalf("Dataset after Close has %d series, want empty", n)
+	}
+}
+
+// TestMmapCloseDuringQueries races Close against a storm of Finds: in-flight
+// walks hold pins, so every query must either complete normally or refuse
+// with ErrMmapClosed — never fault on unmapped memory. (The -race job is the
+// real referee here.)
+func TestMmapCloseDuringQueries(t *testing.T) {
+	_, warm := openStoredMmap(t, Config{})
+	q, err := warm.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := warm.Find(context.Background(), Query{Values: q[0:8], K: 2}); err != nil {
+					if !errors.Is(err, ErrMmapClosed) {
+						t.Errorf("Find during Close: %v", err)
+					}
+					return
+				}
+			}
+		}()
+	}
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+}
+
+// TestMmapConcurrentCompaction drives ingest, queries and compaction against
+// an mmap-backed DB. Every compaction atomically replaces the snapshot file
+// the DB is still mapping — inode semantics must keep the old incarnation
+// alive under the readers. A fresh open afterwards must match exactly.
+func TestMmapConcurrentCompaction(t *testing.T) {
+	live, dir := openStored(t, Config{})
+	q, err := live.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Close(); err != nil { // hand the directory to the mmap DB
+		t.Fatal(err)
+	}
+
+	warm, err := OpenStore(dir, Config{MmapValues: true, CompactBytes: 1}) // compact on every ingest
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				name := fmt.Sprintf("mmap-conc-%d-%d", w, i)
+				vals := make([]float64, 12)
+				for j := range vals {
+					vals[j] = float64(w) + float64(i)*0.1 + math.Cos(float64(j))
+				}
+				if err := warm.AddSeries(name, vals); err != nil {
+					t.Errorf("AddSeries %s: %v", name, err)
+					return
+				}
+				if _, err := warm.Find(context.Background(), Query{Values: q[0:8], K: 2}); err != nil {
+					t.Errorf("Find during compaction: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	again, err := OpenStore(dir, Config{MmapValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer again.Close()
+	sameResults(t, warm, again)
+}
+
+// TestOpenReplicaFileMmap: the follower bootstrap path — opening a spooled
+// snapshot file with mapped values — must be indistinguishable from the
+// eager decode of the same file, and must close to ErrMmapClosed like any
+// other mmap DB.
+func TestOpenReplicaFileMmap(t *testing.T) {
+	live, dir := openStored(t, Config{})
+	if err := live.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := store.SnapshotPath(dir)
+
+	eager, err := OpenReplicaFile(path, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := OpenReplicaFile(path, Config{MmapValues: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Close()
+	if !warm.IsReplica() || !eager.IsReplica() {
+		t.Fatal("OpenReplicaFile did not produce replicas")
+	}
+	sameResults(t, eager, warm)
+
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q, err := eager.SeriesValues("MA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := warm.Find(context.Background(), Query{Values: q[0:8], K: 2}); !errors.Is(err, ErrMmapClosed) {
+		t.Fatalf("Find on closed mmap replica = %v, want ErrMmapClosed", err)
+	}
+}

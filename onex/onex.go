@@ -110,6 +110,20 @@ type Config struct {
 	// longest valid WAL prefix, never a torn middle). Negative is a
 	// ConfigError. Ignored without Store.
 	FsyncEvery int
+	// MmapValues makes warm opens (OpenStore, OpenReplicaFile) serve series
+	// values as zero-copy views over a read-only memory-mapped snapshot
+	// instead of decoding them eagerly onto the heap, so a dataset larger
+	// than RAM pages in on demand. With min-max normalization the engine's
+	// normalized view is still materialized (the transform rewrites every
+	// value); with KeepRaw both views alias the mapping and the dataset is
+	// fully paged. Close on an mmap-backed DB releases the mapping — unlike
+	// the eager default, queries after Close fail with ErrMmapClosed
+	// (in-flight scans finish safely; they pin the mapping). Ignored by
+	// cold opens (Open, OpenWithBase), which build from a caller-provided
+	// in-memory dataset. On platforms without a usable mmap the same
+	// interface transparently falls back to an eager read (StoreStatus
+	// reports ValuesKind "mmap-fallback").
+	MmapValues bool
 }
 
 // DefaultCompactBytes is the WAL size threshold used when Config.
@@ -148,6 +162,31 @@ type DB struct {
 	// the leader's WAL stream, so follower state is exactly the leader's
 	// mutation sequence and nothing else.
 	replica bool
+	// values is the owner reference on the mmap-backed storage the dataset
+	// views alias when the DB was opened with Config.MmapValues (nil for
+	// eager, heap-resident DBs). Close releases it exactly once and sets
+	// mmapClosed; from then on every path that could dereference series
+	// values refuses with ErrMmapClosed instead of touching unmapped
+	// memory. In-flight walks are safe either way: the core layer pins the
+	// source for the duration of each scan, so the release by Close only
+	// unmaps after the last reader finishes.
+	values     ts.ValueSource
+	mmapClosed bool
+}
+
+// ErrMmapClosed is returned by queries and accessors on an mmap-backed DB
+// (Config.MmapValues) after Close has released the mapping. Eager DBs keep
+// answering queries after Close; mmap-backed ones cannot, because the
+// values were never copied out of the released mapping.
+var ErrMmapClosed = errors.New("onex: mmap-backed values released by Close")
+
+// checkValuesLocked refuses access to series values once an mmap-backed
+// DB's mapping has been released. Callers hold db.mu (read or write).
+func (db *DB) checkValuesLocked() error {
+	if db.mmapClosed {
+		return ErrMmapClosed
+	}
+	return nil
 }
 
 // lastDBID issues process-unique DB identifiers; see DB.id and ID.
@@ -306,6 +345,11 @@ func (db *DB) Config() Config {
 func (db *DB) Dataset() *ts.Dataset {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.mmapClosed {
+		// The clone would read released mapped memory; there is no error
+		// return here, so surface the closed state as an empty dataset.
+		return ts.NewDataset(db.raw.Name)
+	}
 	return db.raw.Clone()
 }
 
@@ -531,6 +575,9 @@ func (db *DB) SeriesNames() []string {
 func (db *DB) SeriesValues(name string) ([]float64, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if err := db.checkValuesLocked(); err != nil {
+		return nil, err
+	}
 	s, ok := db.raw.ByName(name)
 	if !ok {
 		return nil, fmt.Errorf("onex: unknown series %q", name)

@@ -176,6 +176,9 @@ func (db *DB) find(ctx context.Context, q Query, rangeMode bool) (Result, error)
 	start := time.Now()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if err := db.checkValuesLocked(); err != nil {
+		return Result{}, err
+	}
 
 	rq, err := db.resolveQuery(q, rangeMode)
 	if err != nil {

@@ -3,7 +3,9 @@ package onex
 import (
 	"errors"
 	"fmt"
+	"os"
 
+	"repro/internal/mmapdata"
 	"repro/internal/store"
 )
 
@@ -40,6 +42,40 @@ func OpenReplica(snapshot []byte, cfg Config) (*DB, error) {
 	return db, nil
 }
 
+// OpenReplicaFile is OpenReplica reading the snapshot image from a file
+// instead of a byte slice. With cfg.MmapValues the file is memory-mapped
+// and the follower serves zero-copy views over it — a follower of a
+// beyond-RAM leader never materializes the shipped dataset (the replica
+// bootstrap path spools the leader's snapshot to disk and opens it this
+// way). Without MmapValues the file is read and decoded eagerly,
+// equivalent to OpenReplica(os.ReadFile(path)).
+//
+// An mmap-backed replica must be Closed when it is discarded (e.g. on
+// re-bootstrap) to release the mapping; see Config.MmapValues.
+func OpenReplicaFile(path string, cfg Config) (*DB, error) {
+	if cfg.Store != nil {
+		return nil, errors.New("onex: OpenReplicaFile: cfg.Store must be nil (replicas re-bootstrap from the leader)")
+	}
+	if !cfg.MmapValues {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("onex: OpenReplicaFile: %w", err)
+		}
+		return OpenReplica(blob, cfg)
+	}
+	st, err := mmapdata.OpenState(path)
+	if err != nil {
+		return nil, fmt.Errorf("onex: OpenReplicaFile: %w", err)
+	}
+	db, err := openFromState(st, cfg, "OpenReplicaFile")
+	if err != nil {
+		releaseStateSource(st)
+		return nil, err
+	}
+	db.replica = true
+	return db, nil
+}
+
 // IsReplica reports whether this DB is a read-only follower (OpenReplica).
 func (db *DB) IsReplica() bool {
 	db.mu.RLock()
@@ -66,6 +102,9 @@ func (db *DB) ApplyReplicated(seq uint64, name string, values []float64) error {
 	defer db.mu.Unlock()
 	if !db.replica {
 		return errors.New("onex: ApplyReplicated: not a replica (use AddSeries)")
+	}
+	if err := db.checkValuesLocked(); err != nil {
+		return err
 	}
 	if seq != db.version+1 {
 		return fmt.Errorf("onex: ApplyReplicated: record seq %d does not follow version %d (lost records; re-bootstrap)", seq, db.version)

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/mmapdata"
 	"repro/internal/store"
 	"repro/internal/ts"
 )
@@ -41,6 +42,12 @@ func OpenStore(dir string, cfg Config) (*DB, error) {
 		return nil, fmt.Errorf("onex: OpenStore: %w", err)
 	}
 	applyFsyncEvery(eng, cfg.FsyncEvery)
+	if cfg.MmapValues {
+		// Swap the engine's snapshot opener for the mmap path: Load then
+		// returns a State whose series values are zero-copy views over the
+		// mapped file, carried by the Dataset's ValueSource.
+		eng.SetSnapshotOpener(mmapdata.OpenState)
+	}
 	db, err := openFromEngine(eng, cfg)
 	if err != nil {
 		eng.Close()
@@ -70,6 +77,7 @@ func openFromEngine(eng store.Engine, cfg Config) (*DB, error) {
 	}
 	db, err := openFromState(res.State, cfg, "OpenStore")
 	if err != nil {
+		releaseStateSource(res.State)
 		return nil, err
 	}
 	db.store = eng
@@ -82,14 +90,26 @@ func openFromEngine(eng store.Engine, cfg Config) (*DB, error) {
 			continue
 		}
 		if rec.Seq != db.version+1 {
+			releaseStateSource(res.State)
 			return nil, fmt.Errorf("onex: OpenStore: replay: record seq %d does not follow version %d (lost records)", rec.Seq, db.version)
 		}
 		if err := db.applySeriesLocked(rec.Name, rec.Values); err != nil {
+			releaseStateSource(res.State)
 			return nil, fmt.Errorf("onex: OpenStore: replay seq %d (%q): %w", rec.Seq, rec.Name, err)
 		}
 		db.version++
 	}
 	return db, nil
+}
+
+// releaseStateSource drops the owner reference on a decoded state's
+// mmap-backed value source when an open fails after the mapping was
+// created (the DB never took ownership). A nil source — the eager decode
+// path — is a no-op.
+func releaseStateSource(st *store.State) {
+	if st != nil && st.Dataset != nil && st.Dataset.Source != nil {
+		st.Dataset.Source.Release()
+	}
 }
 
 // openFromState builds a DB over a decoded persisted state — the shared
@@ -131,6 +151,7 @@ func openFromState(st *store.State, cfg Config, op string) (*DB, error) {
 		cfg:     cfg,
 		version: st.Version,
 		id:      lastDBID.Add(1),
+		values:  raw.Source, // owner reference when mmap-backed; nil otherwise
 	}, nil
 }
 
@@ -140,6 +161,16 @@ func openFromState(st *store.State, cfg Config, op string) (*DB, error) {
 // live DB normalized them against the recorded Min/Max, so recovery must do
 // exactly the same arithmetic to be bit-identical.
 func applyRecordedNorm(raw *ts.Dataset, norm ts.NormInfo) (*ts.Dataset, error) {
+	if norm.Kind == ts.NormNone && raw.Source != nil {
+		// No transform to apply (KeepRaw): the engine view is bit-identical
+		// to the raw view, so both alias the same mmap-backed values and
+		// nothing is materialized — this is the fully paged, beyond-RAM
+		// configuration. Min-max falls through to the clone below: the
+		// transform rewrites every value, so the normalized view must live
+		// on the heap (the mapping is read-only), and only the raw view
+		// stays paged.
+		return raw.ShareValues(), nil
+	}
 	normed := raw.Clone()
 	switch norm.Kind {
 	case ts.NormNone:
@@ -208,16 +239,30 @@ func (db *DB) StoreStatus() (st store.Status, ok bool) {
 	if db.storeErr != nil {
 		st.LastError = db.storeErr.Error()
 	}
+	if db.values != nil {
+		st.ValuesKind = db.values.Kind()
+		st.MappedBytes = db.values.MappedBytes()
+		st.MappedResidentBytes = db.values.ResidentBytes()
+	}
 	return st, true
 }
 
-// Close releases the attached storage engine, if any. Queries keep working
-// afterwards (the dataset stays in memory); further AddSeries calls fail
-// because durability can no longer be honoured. Close is idempotent and a
-// no-op for in-memory databases.
+// Close releases the attached storage engine, if any, and — for a DB
+// opened with Config.MmapValues — the snapshot mapping its values alias.
+// On an eager DB queries keep working afterwards (the dataset stays in
+// memory) and only further AddSeries calls fail, because durability can no
+// longer be honoured. On an mmap-backed DB subsequent queries fail with
+// ErrMmapClosed; in-flight scans finish safely first (they hold pins on
+// the mapping, so the actual unmap waits for the last reader). Close is
+// idempotent and a no-op for in-memory databases.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.values != nil {
+		db.values.Release()
+		db.values = nil
+		db.mmapClosed = true
+	}
 	if db.store == nil {
 		return nil
 	}

@@ -155,6 +155,9 @@ func (db *DB) Stream(ctx context.Context, q Query) (*Exploration, error) {
 	// valid now stays valid (and a failure there still surfaces via Err).
 	db.mu.RLock()
 	_, err := db.resolveQuery(q, false)
+	if err == nil {
+		err = db.checkValuesLocked()
+	}
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, err
@@ -168,6 +171,13 @@ func (db *DB) Stream(ctx context.Context, q Query) (*Exploration, error) {
 		start := time.Now()
 		db.mu.RLock()
 		defer db.mu.RUnlock()
+		// Stream returned before this goroutine took the read lock, so a
+		// concurrent Close may have released an mmap-backed DB's mapping in
+		// the gap; re-check before the walk dereferences any values.
+		if err := db.checkValuesLocked(); err != nil {
+			x.err = err
+			return
+		}
 		rq, err := db.resolveQuery(q, false)
 		if err != nil {
 			x.err = err
